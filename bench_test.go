@@ -1,0 +1,244 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 7), plus ablations of the design choices called
+// out in DESIGN.md. Each figure benchmark runs the full experiment and
+// reports its headline aggregate as custom metrics; the rendered tables
+// land in the benchmark log (visible in `go test -bench . -v` output
+// and in bench_output.txt).
+package restore_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/exp"
+	"repro/internal/pigmix"
+)
+
+// benchReport runs one experiment per iteration and logs the table once.
+func benchReport(b *testing.B, run func() (*exp.Report, error)) *exp.Report {
+	b.Helper()
+	var rep *exp.Report
+	for i := 0; i < b.N; i++ {
+		r, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep = r
+	}
+	b.Log("\n" + rep.String())
+	return rep
+}
+
+// BenchmarkFigure9 regenerates the whole-job reuse experiment.
+func BenchmarkFigure9(b *testing.B) {
+	benchReport(b, exp.Figure9)
+}
+
+// BenchmarkFigure10 regenerates the sub-job reuse experiment (150GB,
+// Aggressive heuristic).
+func BenchmarkFigure10(b *testing.B) {
+	benchReport(b, exp.Figure10)
+}
+
+// BenchmarkFigure11 regenerates the overhead-by-scale comparison.
+func BenchmarkFigure11(b *testing.B) {
+	benchReport(b, exp.Figure11)
+}
+
+// BenchmarkFigure12 regenerates the speedup-by-scale comparison.
+func BenchmarkFigure12(b *testing.B) {
+	benchReport(b, exp.Figure12)
+}
+
+// BenchmarkFigure13 regenerates the heuristic reuse-time comparison.
+func BenchmarkFigure13(b *testing.B) {
+	benchReport(b, exp.Figure13)
+}
+
+// BenchmarkFigure14 regenerates the heuristic generation-time
+// comparison (the L6 outlier).
+func BenchmarkFigure14(b *testing.B) {
+	benchReport(b, exp.Figure14)
+}
+
+// BenchmarkFigure15 regenerates the whole-job vs sub-job comparison.
+func BenchmarkFigure15(b *testing.B) {
+	benchReport(b, exp.Figure15)
+}
+
+// BenchmarkFigure16 regenerates the Project data-reduction sweep.
+func BenchmarkFigure16(b *testing.B) {
+	benchReport(b, exp.Figure16)
+}
+
+// BenchmarkFigure17 regenerates the Filter selectivity sweep.
+func BenchmarkFigure17(b *testing.B) {
+	benchReport(b, exp.Figure17)
+}
+
+// BenchmarkTable1 regenerates the stored-bytes accounting.
+func BenchmarkTable1(b *testing.B) {
+	benchReport(b, exp.Table1)
+}
+
+// BenchmarkTable2 regenerates the synthetic data set's field table.
+func BenchmarkTable2(b *testing.B) {
+	benchReport(b, exp.Table2)
+}
+
+// pigmixSystem builds a small warm system for the ablation benches.
+func pigmixSystem(b *testing.B, opts restore.Options) *restore.System {
+	b.Helper()
+	cfg := restore.DefaultConfig()
+	cfg.Options = opts
+	sys := restore.New(cfg)
+	if _, err := pigmix.Generate(sys.FS(), pigmix.Scale15GB, 1); err != nil {
+		b.Fatal(err)
+	}
+	sys.SetScales(pigmix.SimScaleFor(sys.FS(), pigmix.Scale15GB), pigmix.RecordScaleFor(pigmix.Scale15GB))
+	return sys
+}
+
+func runPigMix(b *testing.B, sys *restore.System, name string) *restore.Result {
+	b.Helper()
+	q, err := pigmix.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sys.Execute(q.Script)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblationMatchOrder quantifies repository ordering Rule 1:
+// with the subsumption-ordered scan, a warm L3 run reuses the whole
+// join job first; the metric reports the simulated reuse time, to be
+// compared with BenchmarkFigure13's per-entry alternatives.
+func BenchmarkAblationMatchOrder(b *testing.B) {
+	var simTime time.Duration
+	for i := 0; i < b.N; i++ {
+		sys := pigmixSystem(b, restore.Options{KeepWholeJobs: true, Heuristic: restore.Conservative})
+		runPigMix(b, sys, "L3")
+		sys.SetOptions(restore.Options{Reuse: true})
+		res := runPigMix(b, sys, "L3")
+		if len(res.Rewrites) == 0 {
+			b.Fatal("no rewrites")
+		}
+		if !res.Rewrites[0].WholeJob {
+			b.Fatal("ordered repository should match the whole join job first")
+		}
+		simTime = res.SimTime
+	}
+	b.ReportMetric(simTime.Minutes(), "sim-min")
+}
+
+// BenchmarkAblationEviction measures the reuse-window eviction policy
+// (Section 5 Rule 3): entries idle beyond the window are dropped and
+// their storage reclaimed.
+func BenchmarkAblationEviction(b *testing.B) {
+	var kept, evicted int
+	for i := 0; i < b.N; i++ {
+		sys := pigmixSystem(b, restore.Options{Heuristic: restore.Aggressive, KeepWholeJobs: true})
+		runPigMix(b, sys, "L3")
+		total := sys.Repository().Len()
+		removed := sys.Repository().Vacuum(sys.FS(), 1000*time.Hour, time.Hour)
+		evicted = len(removed)
+		kept = sys.Repository().Len()
+		if kept != 0 {
+			b.Fatalf("idle entries survived the window: %d", kept)
+		}
+		if evicted != total {
+			b.Fatalf("evicted %d of %d", evicted, total)
+		}
+	}
+	b.ReportMetric(float64(evicted), "evicted")
+}
+
+// BenchmarkAblationHeuristicStorage compares the bytes each heuristic
+// materializes on L3 (the Table 1 trade-off as a single metric pair).
+func BenchmarkAblationHeuristicStorage(b *testing.B) {
+	for _, h := range []restore.Heuristic{restore.Conservative, restore.Aggressive, restore.NoHeuristic} {
+		b.Run(h.String(), func(b *testing.B) {
+			var stored int64
+			for i := 0; i < b.N; i++ {
+				sys := pigmixSystem(b, restore.Options{Heuristic: h})
+				res := runPigMix(b, sys, "L3")
+				stored = res.ExtraStoredSimBytes
+			}
+			b.ReportMetric(float64(stored)/(1<<30), "stored-GB")
+		})
+	}
+}
+
+// BenchmarkMatcherScan measures the plan matcher itself: containment
+// tests of one L3 job against repositories of growing size.
+func BenchmarkMatcherScan(b *testing.B) {
+	sys := pigmixSystem(b, restore.Options{Heuristic: restore.NoHeuristic, KeepWholeJobs: true})
+	// Populate the repository with entries from several queries.
+	for _, q := range []string{"L2", "L3", "L4", "L6", "L7"} {
+		runPigMix(b, sys, q)
+	}
+	repo := sys.Repository()
+	b.Logf("repository holds %d entries", repo.Len())
+
+	q, _ := pigmix.Get("L3")
+	n, err := sys.Compile(q.Script)
+	if err != nil || n == 0 {
+		b.Fatalf("compile: %v", err)
+	}
+	// Benchmark repeated warm executions, which include the full scan +
+	// rewrite cycle per job.
+	sys.SetOptions(restore.Options{Reuse: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runPigMix(b, sys, "L3")
+		if len(res.Rewrites) == 0 {
+			b.Fatal("no rewrites on warm repository")
+		}
+	}
+}
+
+// BenchmarkEngineGroupJob measures raw engine throughput on a
+// group/aggregate job (rows/op are real rows processed, not simulated).
+func BenchmarkEngineGroupJob(b *testing.B) {
+	sys := pigmixSystem(b, restore.Options{})
+	script := `
+A = load 'pigmix/page_views' as (user, action, timespent, query_term, ip_addr, timestamp, estimated_revenue, page_info, page_links);
+B = foreach A generate user, estimated_revenue;
+G = group B by user;
+S = foreach G generate group, SUM(B.estimated_revenue);
+store S into 'bench/out';
+`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Execute(script); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(pigmix.Scale15GB.PageViews), "rows/job")
+}
+
+// BenchmarkEquationOne sanity-benches the workflow critical-path
+// computation used by every experiment (Equation 1 of the paper).
+func BenchmarkEquationOne(b *testing.B) {
+	times := map[string]time.Duration{}
+	deps := map[string][]string{}
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("j%d", i)
+		times[id] = time.Duration(i) * time.Second
+		if i > 0 {
+			deps[id] = []string{fmt.Sprintf("j%d", i-1)}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cluster.CriticalPath(times, deps) <= 0 {
+			b.Fatal("bad critical path")
+		}
+	}
+}

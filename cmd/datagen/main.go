@@ -1,0 +1,86 @@
+// Command datagen writes the benchmark data sets to the local
+// filesystem as tab-separated part files, for inspection or for use by
+// external tools.
+//
+// Usage:
+//
+//	datagen -out /tmp/pigmix                  # PigMix instance (15GB scale rows)
+//	datagen -out /tmp/pigmix -scale 150GB
+//	datagen -out /tmp/synth -synthetic       # the Section 7.5 synthetic set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dfs"
+	"repro/internal/pigmix"
+)
+
+func main() {
+	var (
+		outFlag   = flag.String("out", "", "output directory (required)")
+		scaleFlag = flag.String("scale", "15GB", "PigMix instance: tiny, 15GB, 150GB")
+		synthFlag = flag.Bool("synthetic", false, "generate the synthetic data set instead of PigMix")
+		seedFlag  = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	if *outFlag == "" {
+		fail(fmt.Errorf("-out is required"))
+	}
+
+	fs := dfs.New()
+	if *synthFlag {
+		n, err := pigmix.GenerateSynthetic(fs, pigmix.DefaultSyntheticScale, *seedFlag)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("generated synthetic data: %d rows, %.1f MB actual (represents 40 GB)\n",
+			pigmix.DefaultSyntheticScale.Rows, float64(n)/(1<<20))
+	} else {
+		var scale pigmix.Scale
+		switch *scaleFlag {
+		case "tiny":
+			scale = pigmix.TinyScale
+		case "15GB", "15gb":
+			scale = pigmix.Scale15GB
+		case "150GB", "150gb":
+			scale = pigmix.Scale150GB
+		default:
+			fail(fmt.Errorf("unknown scale %q", *scaleFlag))
+		}
+		n, err := pigmix.Generate(fs, scale, *seedFlag)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("generated PigMix %s instance: page_views %.1f MB actual (represents %.0f GB)\n",
+			scale.Name, float64(n)/(1<<20), float64(scale.TargetSimBytes)/(1<<30))
+	}
+
+	// Export every file in the in-memory DFS to the local filesystem.
+	var files int
+	var bytes int64
+	for _, f := range fs.List("") {
+		data, err := fs.ReadFile(f)
+		if err != nil {
+			fail(err)
+		}
+		dst := filepath.Join(*outFlag, filepath.FromSlash(f))
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			fail(err)
+		}
+		files++
+		bytes += int64(len(data))
+	}
+	fmt.Printf("wrote %d files (%.1f MB) under %s\n", files, float64(bytes)/(1<<20), *outFlag)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

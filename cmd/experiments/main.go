@@ -1,0 +1,79 @@
+// Command experiments regenerates the paper's evaluation: every table
+// and figure of Section 7, printed as aligned text tables with the
+// paper's reference numbers noted alongside.
+//
+// Usage:
+//
+//	experiments               # run everything (takes a few minutes)
+//	experiments -run fig9     # one experiment: fig9..fig17, table1, table2
+//	experiments -o results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+var runners = map[string]func() (*exp.Report, error){
+	"fig9":   exp.Figure9,
+	"fig10":  exp.Figure10,
+	"fig11":  exp.Figure11,
+	"fig12":  exp.Figure12,
+	"fig13":  exp.Figure13,
+	"fig14":  exp.Figure14,
+	"fig15":  exp.Figure15,
+	"fig16":  exp.Figure16,
+	"fig17":  exp.Figure17,
+	"table1": exp.Table1,
+	"table2": exp.Table2,
+}
+
+func main() {
+	runFlag := flag.String("run", "all", "experiment to run: all, or one of fig9..fig17, table1, table2 (comma-separated)")
+	outFlag := flag.String("o", "", "also write the report to this file")
+	flag.Parse()
+
+	start := time.Now()
+	var reports []*exp.Report
+	if *runFlag == "all" {
+		all, err := exp.All()
+		reports = all
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		for _, name := range strings.Split(*runFlag, ",") {
+			name = strings.TrimSpace(strings.ToLower(name))
+			run, ok := runners[name]
+			if !ok {
+				fail(fmt.Errorf("unknown experiment %q", name))
+			}
+			rep, err := run()
+			if err != nil {
+				fail(err)
+			}
+			reports = append(reports, rep)
+		}
+	}
+
+	text := exp.Summary(reports)
+	fmt.Print(text)
+	fmt.Printf("completed %d experiment(s) in %v\n", len(reports), time.Since(start).Round(time.Second))
+
+	if *outFlag != "" {
+		if err := os.WriteFile(*outFlag, []byte(text), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *outFlag)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Heuristics compares the paper's sub-job materialization policies
+// (Section 4) on one query: the Conservative heuristic stores only
+// size-reducing Project/Filter outputs, the Aggressive heuristic adds
+// expensive Join/Group outputs, and No-Heuristic stores everything.
+// The output shows the storage/overhead/speedup trade-off of Table 1
+// and Figures 13–14 on a single workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/pigmix"
+)
+
+func main() {
+	q, err := pigmix.Get("L3")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("query L3 (join + group/aggregate, two MapReduce jobs)")
+	fmt.Printf("%-14s %10s %10s %10s %12s %9s\n",
+		"heuristic", "base", "generate", "reuse", "stored(GB)", "entries")
+
+	for _, h := range []restore.Heuristic{restore.Conservative, restore.Aggressive, restore.NoHeuristic} {
+		sys := restore.New(restore.DefaultConfig())
+		if _, err := pigmix.Generate(sys.FS(), pigmix.Scale15GB, 5); err != nil {
+			log.Fatal(err)
+		}
+		sys.SetScales(pigmix.SimScaleFor(sys.FS(), pigmix.Scale15GB), pigmix.RecordScaleFor(pigmix.Scale15GB))
+
+		// Baseline (no ReStore).
+		base, err := sys.Execute(q.Script)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Generating run: materialize sub-jobs.
+		sys.SetOptions(restore.Options{Heuristic: h})
+		gen, err := sys.Execute(q.Script)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Reuse run: rewrite against the warm repository.
+		sys.SetOptions(restore.Options{Reuse: true})
+		reuse, err := sys.Execute(q.Script)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-14s %10v %10v %10v %12.2f %9d\n",
+			h,
+			base.SimTime.Round(time.Second),
+			gen.SimTime.Round(time.Second),
+			reuse.SimTime.Round(time.Second),
+			float64(gen.ExtraStoredSimBytes)/(1<<30),
+			sys.Repository().Len())
+	}
+
+	fmt.Println("\nreading the table: generate > base is the materialization overhead;")
+	fmt.Println("reuse < base is the payoff once the repository is warm.")
+}

@@ -1,0 +1,218 @@
+// Package cluster simulates the execution timing of MapReduce jobs on a
+// Hadoop-era cluster. The engine in internal/mapreduce executes jobs for
+// real (at laptop scale) and hands per-task byte/record counts — scaled
+// by the configured simulation factor — to this package, which computes
+// task durations from a cost model and schedules them onto the cluster's
+// map/reduce slots to obtain a job makespan, the "execution time on
+// Hadoop" reported by every experiment.
+//
+// The default topology mirrors the paper's testbed: 14 worker nodes,
+// each with 4 map slots and 2 reduce slots.
+package cluster
+
+import (
+	"sort"
+	"time"
+)
+
+// Topology describes the simulated cluster.
+type Topology struct {
+	Workers         int // worker nodes running tasks
+	MapSlotsPerNode int
+	RedSlotsPerNode int
+}
+
+// DefaultTopology matches the paper's cluster: 15 nodes, one dedicated
+// to the JobTracker/NameNode, 14 running 4 mappers and 2 reducers each.
+func DefaultTopology() Topology {
+	return Topology{Workers: 14, MapSlotsPerNode: 4, RedSlotsPerNode: 2}
+}
+
+// MapSlots returns the cluster-wide map slot count.
+func (t Topology) MapSlots() int { return t.Workers * t.MapSlotsPerNode }
+
+// ReduceSlots returns the cluster-wide reduce slot count.
+func (t Topology) ReduceSlots() int { return t.Workers * t.RedSlotsPerNode }
+
+// CostModel converts task workloads into simulated durations. The
+// parameters approximate mid-2000s cluster hardware (the paper's Opteron
+// 275 nodes with single SCSI disks) and Hadoop 0.20 overheads.
+type CostModel struct {
+	// DiskReadBW is the per-task read bandwidth from local disk (B/s).
+	DiskReadBW float64
+	// DiskWriteBW is the per-task write bandwidth (B/s); DFS writes pay
+	// it once per replica.
+	DiskWriteBW float64
+	// NetBW is the per-task shuffle bandwidth (B/s).
+	NetBW float64
+	// PerRecordCPU is the CPU cost to push one record through one
+	// physical operator.
+	PerRecordCPU time.Duration
+	// SortCPUPerRecord is the CPU cost per record of the sort/merge on
+	// both sides of the shuffle.
+	SortCPUPerRecord time.Duration
+	// Replication is the DFS replication factor applied to Store writes.
+	Replication int
+	// JobStartup is the fixed per-job cost: JobTracker scheduling, task
+	// distribution, output commit.
+	JobStartup time.Duration
+	// TaskStartup is the fixed per-task cost (JVM spawn, heartbeat lag).
+	TaskStartup time.Duration
+	// StoreSetup is the fixed per-Store-operator, per-task cost of
+	// creating an output file in the DFS (namenode round trips,
+	// replication pipeline setup). Extra Stores injected by ReStore pay
+	// this on every task that runs them.
+	StoreSetup time.Duration
+	// OutputCommit is the fixed per-output-directory cost of a job:
+	// Hadoop 0.20's OutputCommitter promotes every store directory's
+	// task files serially at the JobTracker and syncs NameNode
+	// metadata, a cost that is largely independent of data volume.
+	// Each extra Store injected by ReStore adds one more directory.
+	OutputCommit time.Duration
+}
+
+// DefaultCostModel returns parameters calibrated so PigMix-scale jobs
+// land in the paper's minutes range. Bandwidths are per task: the
+// paper's nodes run 4 mappers and 2 reducers against one SCSI disk, so
+// each task sees only a few MB/s.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		DiskReadBW:       5.5e6,
+		DiskWriteBW:      8e6,
+		NetBW:            20e6,
+		PerRecordCPU:     1000 * time.Nanosecond,
+		SortCPUPerRecord: 2500 * time.Nanosecond,
+		Replication:      3,
+		JobStartup:       10 * time.Second,
+		TaskStartup:      2 * time.Second,
+		StoreSetup:       2 * time.Second,
+		OutputCommit:     30 * time.Second,
+	}
+}
+
+// TaskWork is the simulated workload of one task.
+type TaskWork struct {
+	// ReadBytes from the DFS (map input) in simulated bytes.
+	ReadBytes int64
+	// ShuffleBytes moved over the network (map: out, reduce: in).
+	ShuffleBytes int64
+	// StoreBytes written to the DFS (before replication).
+	StoreBytes int64
+	// Records pushed through the pipeline.
+	Records int64
+	// PipelineOps is the number of physical operators the records pass.
+	PipelineOps int
+	// SortRecords is the number of records sorted (shuffle path).
+	SortRecords int64
+	// NumStores is how many Store operators the task runs.
+	NumStores int
+}
+
+// TaskTime computes the simulated duration of one task.
+func (m CostModel) TaskTime(w TaskWork) time.Duration {
+	d := m.TaskStartup
+	if w.ReadBytes > 0 {
+		d += time.Duration(float64(w.ReadBytes) / m.DiskReadBW * float64(time.Second))
+	}
+	if w.ShuffleBytes > 0 {
+		d += time.Duration(float64(w.ShuffleBytes) / m.NetBW * float64(time.Second))
+	}
+	if w.StoreBytes > 0 {
+		repl := m.Replication
+		if repl < 1 {
+			repl = 1
+		}
+		d += time.Duration(float64(w.StoreBytes*int64(repl)) / m.DiskWriteBW * float64(time.Second))
+	}
+	ops := w.PipelineOps
+	if ops < 1 {
+		ops = 1
+	}
+	d += time.Duration(w.Records*int64(ops)) * m.PerRecordCPU
+	d += time.Duration(w.SortRecords) * m.SortCPUPerRecord
+	d += time.Duration(w.NumStores) * m.StoreSetup
+	return d
+}
+
+// Makespan schedules task durations onto n identical slots greedily in
+// task order (Hadoop's FIFO within a job) and returns the finish time of
+// the last task.
+func Makespan(tasks []time.Duration, slots int) time.Duration {
+	if len(tasks) == 0 {
+		return 0
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > len(tasks) {
+		slots = len(tasks)
+	}
+	// Earliest-available-slot assignment via a small heap-free approach:
+	// free[i] is the time slot i becomes free.
+	free := make([]time.Duration, slots)
+	var finish time.Duration
+	for _, d := range tasks {
+		// Find the earliest-free slot.
+		best := 0
+		for i := 1; i < slots; i++ {
+			if free[i] < free[best] {
+				best = i
+			}
+		}
+		free[best] += d
+		if free[best] > finish {
+			finish = free[best]
+		}
+	}
+	return finish
+}
+
+// JobTime combines map and reduce phases: reduces start when the map
+// phase completes (ignoring Hadoop's shuffle slow-start, a conservative
+// simplification), plus the fixed job startup cost and the serial
+// output commit of every store directory the job writes.
+func (m CostModel) JobTime(mapTasks, reduceTasks []time.Duration, numOutputs int, topo Topology) time.Duration {
+	d := m.JobStartup
+	d += Makespan(mapTasks, topo.MapSlots())
+	d += Makespan(reduceTasks, topo.ReduceSlots())
+	if numOutputs < 1 {
+		numOutputs = 1
+	}
+	d += time.Duration(numOutputs) * m.OutputCommit
+	return d
+}
+
+// CriticalPath computes workflow completion time per the paper's
+// Equation 1: Ttotal(job) = ET(job) + max over dependencies of their
+// Ttotal; the workflow finishes when its slowest sink does. jobTimes
+// maps job ID to ET; deps maps job ID to dependency IDs.
+func CriticalPath(jobTimes map[string]time.Duration, deps map[string][]string) time.Duration {
+	memo := map[string]time.Duration{}
+	var total func(id string) time.Duration
+	total = func(id string) time.Duration {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		var maxDep time.Duration
+		for _, d := range deps[id] {
+			if t := total(d); t > maxDep {
+				maxDep = t
+			}
+		}
+		v := jobTimes[id] + maxDep
+		memo[id] = v
+		return v
+	}
+	ids := make([]string, 0, len(jobTimes))
+	for id := range jobTimes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var finish time.Duration
+	for _, id := range ids {
+		if t := total(id); t > finish {
+			finish = t
+		}
+	}
+	return finish
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTopologySlots(t *testing.T) {
+	topo := DefaultTopology()
+	if topo.MapSlots() != 56 {
+		t.Errorf("MapSlots = %d, want 56 (14 workers × 4)", topo.MapSlots())
+	}
+	if topo.ReduceSlots() != 28 {
+		t.Errorf("ReduceSlots = %d, want 28 (14 workers × 2)", topo.ReduceSlots())
+	}
+}
+
+func TestTaskTimeComponents(t *testing.T) {
+	m := CostModel{
+		DiskReadBW:       10e6,
+		DiskWriteBW:      10e6,
+		NetBW:            10e6,
+		PerRecordCPU:     time.Microsecond,
+		SortCPUPerRecord: time.Microsecond,
+		Replication:      2,
+		TaskStartup:      time.Second,
+		StoreSetup:       time.Second,
+	}
+	// Pure startup.
+	if got := m.TaskTime(TaskWork{}); got != time.Second {
+		t.Errorf("empty task = %v, want 1s", got)
+	}
+	// 10 MB read at 10 MB/s = 1s + startup.
+	if got := m.TaskTime(TaskWork{ReadBytes: 10e6}); got != 2*time.Second {
+		t.Errorf("read task = %v, want 2s", got)
+	}
+	// Writes pay replication: 10 MB × 2 at 10 MB/s = 2s.
+	if got := m.TaskTime(TaskWork{StoreBytes: 10e6}); got != 3*time.Second {
+		t.Errorf("write task = %v, want 3s", got)
+	}
+	// CPU: 1M records × 2 ops × 1µs = 2s.
+	if got := m.TaskTime(TaskWork{Records: 1_000_000, PipelineOps: 2}); got != 3*time.Second {
+		t.Errorf("cpu task = %v, want 3s", got)
+	}
+	// Store setup per store op.
+	if got := m.TaskTime(TaskWork{NumStores: 3}); got != 4*time.Second {
+		t.Errorf("stores task = %v, want 4s", got)
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	ts := func(secs ...int) []time.Duration {
+		out := make([]time.Duration, len(secs))
+		for i, s := range secs {
+			out[i] = time.Duration(s) * time.Second
+		}
+		return out
+	}
+	cases := []struct {
+		tasks []time.Duration
+		slots int
+		want  time.Duration
+	}{
+		{nil, 4, 0},
+		{ts(5), 4, 5 * time.Second},
+		{ts(5, 5, 5, 5), 4, 5 * time.Second},     // one wave
+		{ts(5, 5, 5, 5, 5), 4, 10 * time.Second}, // two waves
+		{ts(1, 1, 1, 9), 2, 10 * time.Second},    // greedy FIFO: 1+1 | 1+9
+		{ts(3, 3, 3), 1, 9 * time.Second},        // serial
+	}
+	for _, c := range cases {
+		if got := Makespan(c.tasks, c.slots); got != c.want {
+			t.Errorf("Makespan(%v, %d) = %v, want %v", c.tasks, c.slots, got, c.want)
+		}
+	}
+}
+
+func TestJobTime(t *testing.T) {
+	m := CostModel{JobStartup: 10 * time.Second, OutputCommit: 5 * time.Second}
+	topo := Topology{Workers: 1, MapSlotsPerNode: 2, RedSlotsPerNode: 1}
+	maps := []time.Duration{time.Second, time.Second}
+	reds := []time.Duration{2 * time.Second}
+	// 10 startup + 1 map wave + 2 reduce + 5 commit (1 output) = 18.
+	if got := m.JobTime(maps, reds, 1, topo); got != 18*time.Second {
+		t.Errorf("JobTime = %v, want 18s", got)
+	}
+	// Extra output directories pay extra commits.
+	if got := m.JobTime(maps, reds, 3, topo); got != 28*time.Second {
+		t.Errorf("JobTime(3 outputs) = %v, want 28s", got)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	secs := func(s int) time.Duration { return time.Duration(s) * time.Second }
+	times := map[string]time.Duration{"a": secs(10), "b": secs(20), "c": secs(5)}
+	deps := map[string][]string{"c": {"a", "b"}}
+	// c waits for the slower of a/b: 20 + 5 = 25.
+	if got := CriticalPath(times, deps); got != secs(25) {
+		t.Errorf("CriticalPath = %v, want 25s", got)
+	}
+	// Independent jobs: the slowest wins.
+	if got := CriticalPath(map[string]time.Duration{"x": secs(7), "y": secs(3)}, nil); got != secs(7) {
+		t.Errorf("CriticalPath = %v, want 7s", got)
+	}
+	if got := CriticalPath(nil, nil); got != 0 {
+		t.Errorf("empty CriticalPath = %v", got)
+	}
+}
+
+func TestEquationOneShape(t *testing.T) {
+	// The paper's Equation 1: removing a dependency from the critical
+	// path reduces total time by exactly that dependency's contribution.
+	secs := func(s int) time.Duration { return time.Duration(s) * time.Second }
+	full := CriticalPath(
+		map[string]time.Duration{"j1": secs(100), "j2": secs(10)},
+		map[string][]string{"j2": {"j1"}},
+	)
+	reused := CriticalPath(
+		map[string]time.Duration{"j2": secs(10)},
+		map[string][]string{},
+	)
+	if full != secs(110) || reused != secs(10) {
+		t.Errorf("Equation 1: full=%v reused=%v", full, reused)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/logical"
+	"repro/internal/mrcompile"
+	"repro/internal/piglatin"
+)
+
+func benchSig(b *testing.B, src string) PlanSig {
+	b.Helper()
+	script, err := piglatin.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lp, err := logical.Build(script)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wf, err := mrcompile.Compile(lp, mrcompile.Options{TempPrefix: "tmp/b", DefaultReducers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return SigOf(wf.Jobs[0].Plan)
+}
+
+// BenchmarkMatchContainment measures one Algorithm 1 containment test:
+// the paper's Q1 join plan against Q2's first job.
+func BenchmarkMatchContainment(b *testing.B) {
+	repo := benchSig(b, q1)
+	in := benchSig(b, q2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Match(repo, in); !ok {
+			b.Fatal("expected containment")
+		}
+	}
+}
+
+// BenchmarkMatchReject measures the (common) negative case: a
+// non-matching plan is rejected.
+func BenchmarkMatchReject(b *testing.B) {
+	repo := benchSig(b, `
+A = load 'other' as (a, b);
+B = foreach A generate a;
+store B into 'o';
+`)
+	in := benchSig(b, q2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Match(repo, in); ok {
+			b.Fatal("unexpected match")
+		}
+	}
+}
+
+// BenchmarkFingerprint measures repository dedup hashing.
+func BenchmarkFingerprint(b *testing.B) {
+	sig := benchSig(b, q2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sig.Fingerprint()
+	}
+}
+
+// BenchmarkParseCompile measures the full front end: Pig Latin text to
+// a workflow of MapReduce jobs.
+func BenchmarkParseCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		script, err := piglatin.Parse(q2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lp, err := logical.Build(script)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mrcompile.Compile(lp, mrcompile.Options{TempPrefix: "tmp/b", DefaultReducers: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mapreduce"
+	"repro/internal/physical"
+)
+
+// Options configure a Driver. The two independent switches mirror the
+// paper's experiments: Reuse turns the plan matcher and rewriter on, and
+// Heuristic selects sub-job materialization (storing can run without
+// reuse — the "generating sub-jobs" configuration — and vice versa).
+type Options struct {
+	// Reuse enables matching and rewriting against the repository.
+	Reuse bool
+	// Heuristic selects sub-job enumeration (HeuristicOff disables it).
+	Heuristic Heuristic
+	// KeepWholeJobs registers every executed job's output in the
+	// repository.
+	KeepWholeJobs bool
+	// AdmitOnlyReducing applies Section 5 Rule 1: keep a candidate only
+	// when its output is smaller than its input.
+	AdmitOnlyReducing bool
+	// AdmitOnlyBeneficial applies Section 5 Rule 2: keep a candidate
+	// only when Equation 1 predicts a reduction in execution time for
+	// workflows reusing it — loading the stored output must be cheaper
+	// than re-running the job that produced it.
+	AdmitOnlyBeneficial bool
+	// EvictionWindow applies Section 5 Rule 3 after each workflow: evict
+	// entries not reused within this much simulated time (0 disables).
+	EvictionWindow time.Duration
+	// DeleteTemps removes inter-job temporaries after the workflow —
+	// the "current practice" the paper improves on. It is forced off
+	// whenever ReStore stores anything, since repository entries may
+	// reference those files.
+	DeleteTemps bool
+}
+
+// Result reports one workflow execution.
+type Result struct {
+	QueryID string
+	// SimTime is the workflow completion time per the paper's
+	// Equation 1 (critical path over the job DAG).
+	SimTime  time.Duration
+	WallTime time.Duration
+
+	JobStats   []*mapreduce.JobStats
+	JobsRun    int
+	JobsReused int
+
+	// Rewrites lists the repository reuses applied.
+	Rewrites []RewriteEvent
+	// Stored lists the repository entries registered by this execution.
+	Stored []*Entry
+	// ExtraStoredSimBytes totals the side outputs materialized by the
+	// sub-job enumerator (the paper's Table 1 columns).
+	ExtraStoredSimBytes int64
+	// FinalOutputs maps each user STORE path to the dataset actually
+	// holding the result (identity unless whole-job reuse redirected it).
+	FinalOutputs map[string]string
+}
+
+// Driver executes workflows of MapReduce jobs through ReStore: it is the
+// analogue of the paper's extension to Pig's JobControlCompiler. Jobs
+// are processed in dependency order; each is matched and rewritten
+// against the repository, has sub-job Stores injected per the
+// heuristic, is executed, and has its outputs registered.
+type Driver struct {
+	Engine *mapreduce.Engine
+	Repo   *Repository
+	Opts   Options
+
+	// Clock accumulates simulated time across executions; it drives the
+	// reuse-window eviction rule.
+	Clock time.Duration
+
+	queryCounter int
+}
+
+// NewDriver returns a driver over the engine and repository.
+func NewDriver(eng *mapreduce.Engine, repo *Repository, opts Options) *Driver {
+	return &Driver{Engine: eng, Repo: repo, Opts: opts}
+}
+
+// storesAnything reports whether this configuration writes repository
+// entries.
+func (d *Driver) storesAnything() bool {
+	return d.Opts.KeepWholeJobs || d.Opts.Heuristic != HeuristicOff
+}
+
+// Execute runs a workflow through the full ReStore pipeline and returns
+// its report. queryID must be unique per execution; pass "" to
+// auto-generate.
+func (d *Driver) Execute(wf *physical.Workflow, queryID string) (*Result, error) {
+	start := time.Now()
+	if queryID == "" {
+		d.queryCounter++
+		queryID = fmt.Sprintf("q%d", d.queryCounter)
+	}
+	res := &Result{QueryID: queryID, FinalOutputs: map[string]string{}}
+	for p, v := range wf.FinalOutputs {
+		res.FinalOutputs[p] = v
+	}
+
+	rewriter := &Rewriter{Repo: d.Repo, FS: d.Engine.FS()}
+	enum := &Enumerator{
+		Heuristic: d.Opts.Heuristic,
+		PathFor: func(job *physical.Job, opID int) string {
+			return fmt.Sprintf("restore/%s/%s/op%d", queryID, job.ID, opID)
+		},
+		SkipExisting: func(prefix PlanSig) bool {
+			e := d.Repo.Lookup(prefix)
+			return e != nil && d.Repo.Valid(e, d.Engine.FS())
+		},
+	}
+
+	jobTimes := map[string]time.Duration{}
+	jobDeps := map[string][]string{}
+
+	jobs, err := wf.TopoJobs()
+	if err != nil {
+		return nil, err
+	}
+	for _, job := range jobs {
+		if wf.Job(job.ID) == nil {
+			continue // removed by a whole-job rewrite of an earlier pass
+		}
+		isFinal := false
+		if _, ok := wf.FinalOutputs[job.OutputPath]; ok {
+			isFinal = true
+		}
+
+		if d.Opts.Reuse {
+			events := rewriter.RewriteJob(job, !isFinal)
+			for _, ev := range events {
+				if e := d.findEntry(ev.EntryID); e != nil {
+					d.Repo.NoteReuse(e, d.Clock)
+				}
+			}
+			res.Rewrites = append(res.Rewrites, events...)
+			if n := len(events); n > 0 && events[n-1].WholeJob {
+				// Drop the job; dependants read the stored output.
+				wf.RemoveJob(job.ID)
+				wf.RewriteLoadPaths(job.OutputPath, events[n-1].Path)
+				res.JobsReused++
+				continue
+			}
+		}
+
+		// Snapshot the plan before Store injection: the whole-job
+		// repository entry must describe the job without ReStore's
+		// instrumentation.
+		cleanPlan := job.Plan.Clone()
+
+		candidates := enum.Enumerate(job)
+
+		stats, err := d.Engine.Run(job)
+		if err != nil {
+			return nil, fmt.Errorf("core: executing %s/%s: %w", queryID, job.ID, err)
+		}
+		res.JobStats = append(res.JobStats, stats)
+		res.JobsRun++
+		jobTimes[job.ID] = stats.SimTime
+		jobDeps[job.ID] = append([]string(nil), job.DependsOn...)
+
+		d.register(job, cleanPlan, candidates, stats, res)
+	}
+
+	res.SimTime = cluster.CriticalPath(jobTimes, jobDeps)
+	d.Clock += res.SimTime
+
+	if d.Opts.DeleteTemps && !d.storesAnything() {
+		d.deleteTemps(wf, jobs)
+	}
+	if d.Opts.EvictionWindow > 0 {
+		for _, e := range d.Repo.Vacuum(d.Engine.FS(), d.Clock, d.Opts.EvictionWindow) {
+			// Reclaim the space of evicted sub-job outputs; user-visible
+			// outputs (whole final jobs) are left in place.
+			if !e.WholeJob {
+				_ = d.Engine.FS().Delete(e.OutputPath)
+			}
+		}
+	}
+
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+func (d *Driver) findEntry(id string) *Entry {
+	for _, e := range d.Repo.Entries() {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// register stores the whole-job output and the enumerated sub-job
+// outputs in the repository (the enumerated sub-job selector).
+func (d *Driver) register(job *physical.Job, cleanPlan *physical.Plan, candidates []Candidate, stats *mapreduce.JobStats, res *Result) {
+	fs := d.Engine.FS()
+
+	admit := func(e *Entry) bool {
+		if e.Plan.OpCount() <= 1 {
+			return false // a bare Load: reusing it is just re-reading the input
+		}
+		if d.Opts.AdmitOnlyReducing && e.Stats.OutputSimBytes >= e.Stats.InputSimBytes {
+			return false
+		}
+		if d.Opts.AdmitOnlyBeneficial && !d.beneficial(e) {
+			return false
+		}
+		return true
+	}
+
+	versionsOf := func(sig PlanSig) map[string]int64 {
+		vs := map[string]int64{}
+		for _, p := range sig.loadPaths() {
+			vs[p] = fs.Version(p)
+		}
+		return vs
+	}
+
+	if d.Opts.KeepWholeJobs {
+		sig := SigOf(cleanPlan)
+		e := &Entry{
+			Plan:       sig,
+			OutputPath: job.OutputPath,
+			WholeJob:   true,
+			Stats: EntryStats{
+				InputSimBytes:  stats.InputSimBytes,
+				OutputSimBytes: stats.OutputSimBytes,
+				AvgMapTime:     stats.AvgMapTime,
+				AvgRedTime:     stats.AvgRedTime,
+				JobSimTime:     stats.SimTime,
+			},
+			InputVersions: versionsOf(sig),
+			StoredAt:      d.Clock,
+		}
+		if admit(e) {
+			res.Stored = append(res.Stored, d.Repo.Insert(e))
+		}
+	}
+
+	for _, c := range candidates {
+		out := stats.Outputs[c.Path]
+		if !c.Existing {
+			res.ExtraStoredSimBytes += out.SimBytes
+		}
+		prefix := SigOf(job.Plan.PrefixPlan(c.OpID, c.Path))
+		e := &Entry{
+			Plan:       prefix,
+			OutputPath: c.Path,
+			Stats: EntryStats{
+				InputSimBytes:  stats.InputSimBytes,
+				OutputSimBytes: out.SimBytes,
+				AvgMapTime:     stats.AvgMapTime,
+				AvgRedTime:     stats.AvgRedTime,
+				JobSimTime:     stats.SimTime,
+			},
+			InputVersions: versionsOf(prefix),
+			StoredAt:      d.Clock,
+		}
+		if admit(e) {
+			res.Stored = append(res.Stored, d.Repo.Insert(e))
+		} else if !c.Existing {
+			_ = fs.Delete(c.Path) // rejected by the selector: reclaim now
+		}
+	}
+}
+
+// beneficial estimates Section 5 Rule 2: reusing the entry must beat
+// recomputing it. The replacement job reads the stored output from the
+// DFS; the saved work is the producing job's execution time.
+func (d *Driver) beneficial(e *Entry) bool {
+	cost := d.Engine.Config().Cost
+	topo := d.Engine.Config().Topology
+	readBW := cost.DiskReadBW * float64(topo.MapSlots())
+	if readBW <= 0 {
+		return true
+	}
+	loadTime := time.Duration(float64(e.Stats.OutputSimBytes) / readBW * float64(time.Second))
+	loadTime += cost.JobStartup
+	return loadTime < e.Stats.JobSimTime
+}
+
+// deleteTemps removes inter-job temporaries, the pre-ReStore "current
+// practice".
+func (d *Driver) deleteTemps(wf *physical.Workflow, jobs []*physical.Job) {
+	finals := map[string]bool{}
+	for p := range wf.FinalOutputs {
+		finals[p] = true
+	}
+	for _, j := range jobs {
+		if !finals[j.OutputPath] {
+			_ = d.Engine.FS().Delete(j.OutputPath)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"repro/internal/physical"
+)
+
+// Match implements ReStore's plan containment test (the paper's
+// Algorithm 1, PairwisePlanTraversal): it decides whether the repository
+// plan repo — excluding its final Store — is contained in the input
+// MapReduce job plan in, and returns the mapping from repo op IDs to
+// input op IDs.
+//
+// Containment follows the paper's operator equivalence: two operators
+// are equivalent when (1) their inputs are pipelined from equivalent
+// operators or from the same data sets, and (2) they perform functions
+// producing the same output (equal canonical signatures). Both plans are
+// traversed simultaneously from their Load operators; the traversal here
+// proceeds in topological order, which resolves the convergence of
+// multi-input operators (Join/CoGroup/Union) deterministically: an
+// operator is paired only once all of its inputs are paired, and the
+// candidate's inputs must align positionally. A final verification pass
+// confirms every repository operator found an equivalent.
+func Match(repo, in PlanSig) (map[int]int, bool) {
+	store := repo.finalStore()
+	mapping := map[int]int{}
+	used := map[int]bool{}
+
+	inBySig := map[string][]int{}
+	for i := range in.Ops {
+		op := &in.Ops[i]
+		inBySig[op.Sig] = append(inBySig[op.Sig], op.ID)
+	}
+
+	for _, id := range repo.topo() {
+		rop := repo.op(id)
+		if store != nil && rop.ID == store.ID {
+			continue // the repo's Store materializes; it need not re-occur
+		}
+		// All inputs must already be mapped (topo order guarantees they
+		// were attempted; if any failed, containment fails).
+		wantInputs := make([]int, len(rop.Inputs))
+		ready := true
+		for i, rin := range rop.Inputs {
+			m, ok := mapping[rin]
+			if !ok {
+				ready = false
+				break
+			}
+			wantInputs[i] = m
+		}
+		if !ready {
+			return nil, false
+		}
+		found := false
+		for _, cid := range inBySig[rop.Sig] {
+			if used[cid] {
+				continue
+			}
+			cop := in.op(cid)
+			if cop.Kind != rop.Kind || !inputsEqual(cop.Inputs, wantInputs) {
+				continue
+			}
+			mapping[rop.ID] = cid
+			used[cid] = true
+			found = true
+			break
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return mapping, verifyMapping(repo, in, mapping)
+}
+
+func inputsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyMapping re-checks the containment proof: every non-Store repo op
+// is mapped to a distinct input op with equal signature and positionally
+// aligned, already-mapped inputs.
+func verifyMapping(repo, in PlanSig, mapping map[int]int) bool {
+	store := repo.finalStore()
+	seen := map[int]bool{}
+	for i := range repo.Ops {
+		rop := &repo.Ops[i]
+		if store != nil && rop.ID == store.ID {
+			continue
+		}
+		cid, ok := mapping[rop.ID]
+		if !ok {
+			return false
+		}
+		if seen[cid] {
+			return false
+		}
+		seen[cid] = true
+		cop := in.op(cid)
+		if cop == nil || cop.Sig != rop.Sig || cop.Kind != rop.Kind {
+			return false
+		}
+		if len(cop.Inputs) != len(rop.Inputs) {
+			return false
+		}
+		for k, rin := range rop.Inputs {
+			if cop.Inputs[k] != mapping[rin] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Contains reports whether candidate plan b is contained in plan a
+// (every operator of b has an equivalent in a). Used by the repository's
+// ordering Rule 1 ("plan A is preferred to plan B if A subsumes B").
+func Contains(a, b PlanSig) bool {
+	_, ok := Match(b, a)
+	return ok
+}
+
+// MatchResult describes one successful repository match against an
+// input job.
+type MatchResult struct {
+	Entry *Entry
+	// Mapping maps repository op IDs to input plan op IDs.
+	Mapping map[int]int
+	// Frontier is the input-plan op whose output equals the stored
+	// result (the op mapped from the entry's result op).
+	Frontier int
+	// WholePlan is true when the frontier feeds the input plan's main
+	// Store directly, i.e. the entry covers the entire job.
+	WholePlan bool
+}
+
+// matchEntry runs the containment test of one repository entry against
+// an input job plan and classifies the result.
+func matchEntry(e *Entry, jobPlan *physical.Plan, jobSig PlanSig, mainStoreInput int) (*MatchResult, bool) {
+	mapping, ok := Match(e.Plan, jobSig)
+	if !ok {
+		return nil, false
+	}
+	res := e.Plan.resultOp()
+	if res < 0 {
+		return nil, false
+	}
+	frontier, ok := mapping[res]
+	if !ok {
+		return nil, false
+	}
+	// Rewriting a bare Load into another Load makes no progress.
+	if jobPlan.Op(frontier) != nil && jobPlan.Op(frontier).Kind == physical.KLoad {
+		return nil, false
+	}
+	return &MatchResult{
+		Entry:     e,
+		Mapping:   mapping,
+		Frontier:  frontier,
+		WholePlan: frontier == mainStoreInput,
+	}, true
+}

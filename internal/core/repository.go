@@ -1,0 +1,225 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"repro/internal/dfs"
+)
+
+// EntryStats carries the execution statistics the repository keeps per
+// stored output, per the paper: input/output sizes and the average
+// mapper/reducer execution times of the producing job.
+type EntryStats struct {
+	InputSimBytes  int64
+	OutputSimBytes int64
+	AvgMapTime     time.Duration
+	AvgRedTime     time.Duration
+	JobSimTime     time.Duration
+}
+
+// ioRatio is the ordering metric of Rule 2: input size over output size,
+// higher is better.
+func (s EntryStats) ioRatio() float64 {
+	if s.OutputSimBytes <= 0 {
+		return float64(s.InputSimBytes)
+	}
+	return float64(s.InputSimBytes) / float64(s.OutputSimBytes)
+}
+
+// Entry is one stored MapReduce job output: the physical plan that
+// produced it, the output's location in the DFS, execution statistics,
+// and usage bookkeeping. Sub-jobs are stored as full, independent
+// MapReduce jobs indistinguishable from whole jobs, as in the paper.
+type Entry struct {
+	ID         string
+	Plan       PlanSig
+	OutputPath string
+	Stats      EntryStats
+
+	// InputVersions records the DFS version of every input dataset at
+	// store time; eviction Rule 4 invalidates the entry when an input is
+	// later deleted or modified.
+	InputVersions map[string]int64
+
+	// WholeJob marks entries that materialize a complete job rather
+	// than an enumerated sub-job.
+	WholeJob bool
+
+	// Usage statistics (simulated clock).
+	StoredAt    time.Duration
+	LastReused  time.Duration
+	TimesReused int
+}
+
+// Repository manages the stored job outputs. Plans are kept ordered so
+// that a sequential scan finds the best match first: Rule 1 places
+// subsuming plans ahead of the plans they subsume; Rule 2 orders
+// incomparable plans by input/output ratio and then job execution time.
+type Repository struct {
+	entries []*Entry
+	nextID  int
+	byFP    map[string]*Entry
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{byFP: map[string]*Entry{}}
+}
+
+// Len returns the number of entries.
+func (r *Repository) Len() int { return len(r.entries) }
+
+// Entries returns the entries in scan order.
+func (r *Repository) Entries() []*Entry { return r.entries }
+
+// Lookup returns the entry whose plan fingerprint equals that of sig,
+// or nil.
+func (r *Repository) Lookup(sig PlanSig) *Entry {
+	return r.byFP[sig.Fingerprint()]
+}
+
+// Insert adds an entry in its ordered position. Inserting a plan whose
+// fingerprint already exists replaces the old entry's statistics and
+// output location instead of duplicating it, and returns the existing
+// entry.
+func (r *Repository) Insert(e *Entry) *Entry {
+	fp := e.Plan.Fingerprint()
+	if old := r.byFP[fp]; old != nil {
+		old.OutputPath = e.OutputPath
+		old.Stats = e.Stats
+		old.InputVersions = e.InputVersions
+		old.StoredAt = e.StoredAt
+		return old
+	}
+	r.nextID++
+	if e.ID == "" {
+		e.ID = fmt.Sprintf("e%d", r.nextID)
+	}
+	pos := len(r.entries)
+	for i, x := range r.entries {
+		if r.before(e, x) {
+			pos = i
+			break
+		}
+	}
+	r.entries = append(r.entries, nil)
+	copy(r.entries[pos+1:], r.entries[pos:])
+	r.entries[pos] = e
+	r.byFP[fp] = e
+	return e
+}
+
+// before implements the scan-order comparison: Rule 1 (subsumption)
+// then Rule 2 (input/output ratio, then execution time).
+func (r *Repository) before(a, b *Entry) bool {
+	aSubsumesB := Contains(a.Plan, b.Plan)
+	bSubsumesA := Contains(b.Plan, a.Plan)
+	if aSubsumesB != bSubsumesA {
+		return aSubsumesB
+	}
+	ra, rb := a.Stats.ioRatio(), b.Stats.ioRatio()
+	if ra != rb {
+		return ra > rb
+	}
+	return a.Stats.JobSimTime > b.Stats.JobSimTime
+}
+
+// Remove deletes an entry by ID and returns it, or nil.
+func (r *Repository) Remove(id string) *Entry {
+	for i, e := range r.entries {
+		if e.ID == id {
+			r.entries = append(r.entries[:i], r.entries[i+1:]...)
+			delete(r.byFP, e.Plan.Fingerprint())
+			return e
+		}
+	}
+	return nil
+}
+
+// Valid reports whether an entry is usable: its output still exists and
+// none of its inputs were deleted or modified since it was stored
+// (eviction Rule 4's condition, checked at match time).
+func (r *Repository) Valid(e *Entry, fs *dfs.FS) bool {
+	if !fs.Exists(e.OutputPath) {
+		return false
+	}
+	for p, v := range e.InputVersions {
+		if fs.Version(p) != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Vacuum removes invalid entries (Rule 4) and, when window > 0, entries
+// not reused within the window of simulated time (Rule 3). It returns
+// the removed entries; the caller decides whether to also delete their
+// stored outputs from the DFS.
+func (r *Repository) Vacuum(fs *dfs.FS, now time.Duration, window time.Duration) []*Entry {
+	var removed []*Entry
+	kept := r.entries[:0]
+	for _, e := range r.entries {
+		bad := !r.Valid(e, fs)
+		if !bad && window > 0 {
+			last := e.StoredAt
+			if e.LastReused > last {
+				last = e.LastReused
+			}
+			if now-last > window {
+				bad = true
+			}
+		}
+		if bad {
+			delete(r.byFP, e.Plan.Fingerprint())
+			removed = append(removed, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	r.entries = kept
+	return removed
+}
+
+// NoteReuse records that an entry's output answered (part of) a query at
+// simulated time now.
+func (r *Repository) NoteReuse(e *Entry, now time.Duration) {
+	e.TimesReused++
+	e.LastReused = now
+}
+
+// gobRepository is the serialized form.
+type gobRepository struct {
+	Entries []*Entry
+	NextID  int
+}
+
+// Save persists the repository into the DFS at path.
+func (r *Repository) Save(fs *dfs.FS, path string) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobRepository{Entries: r.entries, NextID: r.nextID}); err != nil {
+		return fmt.Errorf("core: encoding repository: %w", err)
+	}
+	return fs.WriteFile(path, buf.Bytes())
+}
+
+// LoadRepository restores a repository saved with Save.
+func LoadRepository(fs *dfs.FS, path string) (*Repository, error) {
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g gobRepository
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return nil, fmt.Errorf("core: decoding repository: %w", err)
+	}
+	r := NewRepository()
+	r.nextID = g.NextID
+	r.entries = g.Entries
+	for _, e := range r.entries {
+		r.byFP[e.Plan.Fingerprint()] = e
+	}
+	return r, nil
+}

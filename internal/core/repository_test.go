@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/tuple"
+)
+
+func entryFor(t *testing.T, src string, id string, stats EntryStats) *Entry {
+	t.Helper()
+	sig := firstJobSig(t, src)
+	return &Entry{ID: id, Plan: sig, OutputPath: "stored/" + id, Stats: stats}
+}
+
+func TestInsertOrdersBySubsumption(t *testing.T) {
+	repo := NewRepository()
+	small := entryFor(t, `
+A = load 'pv' as (u, r);
+B = foreach A generate u;
+store B into 'o';
+`, "small", EntryStats{InputSimBytes: 100, OutputSimBytes: 50})
+	big := entryFor(t, `
+A = load 'pv' as (u, r);
+B = foreach A generate u;
+C = distinct B;
+store C into 'o2';
+`, "big", EntryStats{InputSimBytes: 100, OutputSimBytes: 90})
+
+	// Insert the small one first; the subsuming big plan must still be
+	// scanned first (Rule 1 beats Rule 2's ratio, which favors small).
+	repo.Insert(small)
+	repo.Insert(big)
+	if repo.Entries()[0].ID != "big" {
+		t.Errorf("scan order = [%s, %s], want big first",
+			repo.Entries()[0].ID, repo.Entries()[1].ID)
+	}
+}
+
+func TestInsertOrdersByRatioThenTime(t *testing.T) {
+	repo := NewRepository()
+	mk := func(id, path string, in, out int64, jt time.Duration) *Entry {
+		return entryFor(t, fmt.Sprintf(`
+A = load '%s' as (a, b);
+B = foreach A generate a;
+store B into 'o';
+`, path), id, EntryStats{InputSimBytes: in, OutputSimBytes: out, JobSimTime: jt})
+	}
+	// Incomparable plans (different datasets): higher I/O ratio first.
+	lowRatio := mk("low", "d1", 100, 90, time.Hour)
+	highRatio := mk("high", "d2", 100, 10, time.Minute)
+	repo.Insert(lowRatio)
+	repo.Insert(highRatio)
+	if repo.Entries()[0].ID != "high" {
+		t.Errorf("ratio ordering failed: first = %s", repo.Entries()[0].ID)
+	}
+
+	// Equal ratios: longer job time first.
+	repo2 := NewRepository()
+	slow := mk("slow", "d3", 100, 50, time.Hour)
+	fast := mk("fast", "d4", 100, 50, time.Minute)
+	repo2.Insert(fast)
+	repo2.Insert(slow)
+	if repo2.Entries()[0].ID != "slow" {
+		t.Errorf("time ordering failed: first = %s", repo2.Entries()[0].ID)
+	}
+}
+
+func TestInsertDedupsByFingerprint(t *testing.T) {
+	repo := NewRepository()
+	src := `
+A = load 'pv' as (u, r);
+B = foreach A generate u;
+store B into 'o';
+`
+	e1 := entryFor(t, src, "", EntryStats{InputSimBytes: 10, OutputSimBytes: 5})
+	e2 := entryFor(t, src, "", EntryStats{InputSimBytes: 99, OutputSimBytes: 1})
+	e2.OutputPath = "stored/new"
+	first := repo.Insert(e1)
+	second := repo.Insert(e2)
+	if repo.Len() != 1 {
+		t.Fatalf("repo len = %d, want 1 (dedup)", repo.Len())
+	}
+	if first != second {
+		t.Errorf("Insert did not return the existing entry")
+	}
+	if first.OutputPath != "stored/new" || first.Stats.InputSimBytes != 99 {
+		t.Errorf("dedup did not refresh stats/path: %+v", first)
+	}
+}
+
+func TestRemoveEntry(t *testing.T) {
+	repo := NewRepository()
+	e := entryFor(t, `
+A = load 'x' as (a);
+B = foreach A generate a;
+store B into 'o';
+`, "", EntryStats{})
+	ins := repo.Insert(e)
+	if got := repo.Remove(ins.ID); got == nil || repo.Len() != 0 {
+		t.Errorf("Remove failed: %v, len=%d", got, repo.Len())
+	}
+	if repo.Remove("nope") != nil {
+		t.Errorf("removing a missing entry should return nil")
+	}
+	// The fingerprint index must be cleaned too.
+	if repo.Lookup(e.Plan) != nil {
+		t.Errorf("fingerprint survived removal")
+	}
+}
+
+func TestValidChecksOutputAndVersions(t *testing.T) {
+	fs := dfs.New()
+	fs.WriteFile("in/part-00000", []byte("a\n"))
+	fs.WriteFile("stored/e/part-00000", []byte("a\n"))
+	repo := NewRepository()
+	e := &Entry{
+		ID:            "e",
+		OutputPath:    "stored/e",
+		InputVersions: map[string]int64{"in": fs.Version("in")},
+	}
+	if !repo.Valid(e, fs) {
+		t.Fatalf("fresh entry should be valid")
+	}
+	// Input modified: invalid.
+	fs.WriteFile("in/part-00000", []byte("b\n"))
+	if repo.Valid(e, fs) {
+		t.Errorf("entry with modified input should be invalid")
+	}
+	// Restore version match but delete the output: invalid.
+	e.InputVersions["in"] = fs.Version("in")
+	fs.Delete("stored/e")
+	if repo.Valid(e, fs) {
+		t.Errorf("entry with deleted output should be invalid")
+	}
+}
+
+func TestVacuumRules(t *testing.T) {
+	fs := dfs.New()
+	fs.WriteFile("in/part-00000", []byte("a\n"))
+	fs.WriteFile("stored/fresh/part-00000", []byte("x\n"))
+	fs.WriteFile("stored/stale/part-00000", []byte("x\n"))
+	repo := NewRepository()
+	fresh := &Entry{ID: "fresh", OutputPath: "stored/fresh",
+		InputVersions: map[string]int64{"in": fs.Version("in")},
+		LastReused:    90 * time.Minute}
+	stale := &Entry{ID: "stale", OutputPath: "stored/stale",
+		InputVersions: map[string]int64{"in": fs.Version("in")},
+		StoredAt:      0}
+	repo.entries = append(repo.entries, fresh, stale)
+	repo.byFP["f1"] = fresh
+	repo.byFP["f2"] = stale
+
+	removed := repo.Vacuum(fs, 2*time.Hour, time.Hour)
+	if len(removed) != 1 || removed[0].ID != "stale" {
+		t.Fatalf("removed = %v", removed)
+	}
+	if repo.Len() != 1 || repo.Entries()[0].ID != "fresh" {
+		t.Errorf("kept = %v", repo.Entries())
+	}
+}
+
+func TestNoteReuse(t *testing.T) {
+	repo := NewRepository()
+	e := &Entry{}
+	repo.NoteReuse(e, 5*time.Minute)
+	repo.NoteReuse(e, 9*time.Minute)
+	if e.TimesReused != 2 || e.LastReused != 9*time.Minute {
+		t.Errorf("usage stats = %+v", e)
+	}
+}
+
+// TestReuseEquivalenceRandomPipelines is a property test: randomly
+// generated filter/project/group pipelines over random data must
+// produce identical results with a warm repository (reuse on, all
+// heuristics) as on a cold baseline.
+func TestReuseEquivalenceRandomPipelines(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 8; trial++ {
+		// Random data.
+		var rows []tuple.Tuple
+		nRows := 50 + r.Intn(200)
+		for i := 0; i < nRows; i++ {
+			rows = append(rows, tuple.Tuple{
+				fmt.Sprintf("k%d", r.Intn(9)),
+				int64(r.Intn(100)),
+				int64(r.Intn(10)),
+			})
+		}
+		// Random pipeline.
+		var b strings.Builder
+		b.WriteString("A = load 'rand' as (k, v, w);\n")
+		prev := "A"
+		steps := 1 + r.Intn(3)
+		for s := 0; s < steps; s++ {
+			cur := fmt.Sprintf("S%d", s)
+			switch r.Intn(3) {
+			case 0:
+				fmt.Fprintf(&b, "%s = filter %s by v > %d;\n", cur, prev, r.Intn(80))
+			case 1:
+				fmt.Fprintf(&b, "%s = foreach %s generate k, v, w;\n", cur, prev)
+			case 2:
+				fmt.Fprintf(&b, "%s = distinct %s;\n", cur, prev)
+			}
+			prev = cur
+		}
+		fmt.Fprintf(&b, "G = group %s by k;\n", prev)
+		fmt.Fprintf(&b, "R = foreach G generate group, COUNT(%s), SUM(%s.v);\n", prev, prev)
+		b.WriteString("store R into 'rand_out';\n")
+		src := b.String()
+
+		base := newHarness(t, Options{})
+		base.fs.WriteFile("rand/part-00000", []byte(encodeRows(rows)))
+		want := base.read(t, base.run(t, src), "rand_out")
+
+		warm := newHarness(t, Options{Reuse: true, KeepWholeJobs: true, Heuristic: NoHeuristic})
+		warm.fs.WriteFile("rand/part-00000", []byte(encodeRows(rows)))
+		warm.run(t, src) // populate
+		res := warm.run(t, src)
+		got := warm.read(t, res, "rand_out")
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: rows %d vs %d\nscript:\n%s", trial, len(got), len(want), src)
+		}
+		for i := range want {
+			if !tuple.Equal(got[i], want[i]) {
+				t.Fatalf("trial %d row %d: %v vs %v\nscript:\n%s", trial, i, got[i], want[i], src)
+			}
+		}
+	}
+}
+
+func encodeRows(rows []tuple.Tuple) string {
+	var b strings.Builder
+	for _, r := range rows {
+		b.WriteString(tuple.EncodeText(r))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

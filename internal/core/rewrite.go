@@ -1,0 +1,106 @@
+package core
+
+import (
+	"repro/internal/dfs"
+	"repro/internal/physical"
+)
+
+// Rewriter is ReStore's plan matcher and rewriter: for each MapReduce
+// job of an input workflow it scans the repository in order and rewrites
+// the job to read stored outputs instead of recomputing them.
+type Rewriter struct {
+	Repo *Repository
+	FS   *dfs.FS
+}
+
+// RewriteEvent records one applied rewrite for reporting.
+type RewriteEvent struct {
+	JobID     string
+	EntryID   string
+	Path      string
+	WholeJob  bool
+	OpsBefore int
+	OpsAfter  int
+}
+
+// RewriteJob rewrites one job in place to reuse repository outputs. It
+// repeats the sequential scan after every successful rewrite ("a new
+// sequential scan through the repository is started to look for more
+// matches"), so several entries can contribute to one job. It returns
+// the rewrite events applied, with WholeJob set when an entry covered
+// the entire job (the caller then drops the job and rewires its
+// dependants).
+//
+// allowWhole permits whole-plan matches. The driver passes false for
+// jobs writing a user STORE destination: a requested output is always
+// freshly materialized, so final jobs reuse sub-plans only — which is
+// why the paper evaluates whole-job reuse on multi-job workflows.
+func (rw *Rewriter) RewriteJob(job *physical.Job, allowWhole bool) []RewriteEvent {
+	var events []RewriteEvent
+	for {
+		res := rw.findFirstMatch(job, allowWhole)
+		if res == nil {
+			return events
+		}
+		before := job.Plan.Len()
+		if res.WholePlan {
+			// Whole-job reuse: the caller removes the job; the plan is
+			// also rewritten into Load(stored) -> Store as a fallback.
+			applyRewrite(job.Plan, res)
+			events = append(events, RewriteEvent{
+				JobID: job.ID, EntryID: res.Entry.ID, Path: res.Entry.OutputPath,
+				WholeJob: true, OpsBefore: before, OpsAfter: job.Plan.Len(),
+			})
+			return events
+		}
+		applyRewrite(job.Plan, res)
+		events = append(events, RewriteEvent{
+			JobID: job.ID, EntryID: res.Entry.ID, Path: res.Entry.OutputPath,
+			OpsBefore: before, OpsAfter: job.Plan.Len(),
+		})
+	}
+}
+
+// findFirstMatch scans the ordered repository for the first valid entry
+// contained in the job's plan. Because the repository is ordered by
+// Rules 1 and 2 (Section 3), the first match is the best match.
+func (rw *Rewriter) findFirstMatch(job *physical.Job, allowWhole bool) *MatchResult {
+	jobSig := SigOf(job.Plan)
+	mainStoreInput := -1
+	if st := job.MainStore(); st != nil && len(st.InputIDs) > 0 {
+		mainStoreInput = st.InputIDs[0]
+	}
+	for _, e := range rw.Repo.Entries() {
+		if !rw.Repo.Valid(e, rw.FS) {
+			continue
+		}
+		res, ok := matchEntry(e, job.Plan, jobSig, mainStoreInput)
+		if !ok {
+			continue
+		}
+		if res.WholePlan && !allowWhole {
+			continue
+		}
+		return res
+	}
+	return nil
+}
+
+// applyRewrite replaces the matched region of the plan with a Load of
+// the entry's stored output: every consumer of the frontier op is
+// redirected to a new Load, and operators that no longer reach a Store
+// are removed.
+func applyRewrite(plan *physical.Plan, res *MatchResult) {
+	newLoad := plan.Add(&physical.Op{Kind: physical.KLoad, Path: res.Entry.OutputPath})
+	for _, op := range plan.Ops() {
+		if op.ID == newLoad.ID {
+			continue
+		}
+		for i, in := range op.InputIDs {
+			if in == res.Frontier {
+				op.InputIDs[i] = newLoad.ID
+			}
+		}
+	}
+	plan.RemoveDead()
+}

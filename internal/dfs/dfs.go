@@ -1,0 +1,261 @@
+// Package dfs implements the distributed file system substrate that the
+// MapReduce engine and the ReStore repository store data in. It plays the
+// role HDFS plays for Hadoop: a flat namespace of immutable files grouped
+// into directories, where a "dataset" is a directory of part files
+// written by the tasks of a job.
+//
+// The implementation is an in-memory store with the metadata ReStore
+// needs: per-path modification versions (repository eviction Rule 4
+// evicts entries whose inputs were deleted or modified) and global byte
+// meters that feed the cluster cost model.
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is an in-memory distributed file system. All methods are safe for
+// concurrent use.
+type FS struct {
+	mu      sync.RWMutex
+	files   map[string]*file
+	version map[string]int64 // per top-level dataset path
+	nextVer int64
+
+	bytesRead    int64
+	bytesWritten int64
+}
+
+type file struct {
+	data []byte
+}
+
+// New returns an empty file system.
+func New() *FS {
+	return &FS{
+		files:   make(map[string]*file),
+		version: make(map[string]int64),
+	}
+}
+
+// clean normalizes a path: no leading slash, no trailing slash.
+func clean(path string) string {
+	path = strings.TrimPrefix(path, "/")
+	path = strings.TrimSuffix(path, "/")
+	return path
+}
+
+// datasetOf returns the dataset (top-level directory) a path belongs to.
+// "pigmix/page_views/part-00000" → "pigmix/page_views" when the path has
+// a part file component, else the path itself.
+func datasetOf(path string) string {
+	path = clean(path)
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		last := path[i+1:]
+		if strings.HasPrefix(last, "part-") {
+			return path[:i]
+		}
+	}
+	return path
+}
+
+// Create opens a new file for writing, truncating any existing file at
+// the path. Close commits the file and bumps its dataset version.
+func (fs *FS) Create(path string) io.WriteCloser {
+	return &fileWriter{fs: fs, path: clean(path)}
+}
+
+type fileWriter struct {
+	fs   *FS
+	path string
+	buf  bytes.Buffer
+}
+
+func (w *fileWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+
+func (w *fileWriter) Close() error {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	w.fs.files[w.path] = &file{data: append([]byte(nil), w.buf.Bytes()...)}
+	w.fs.bytesWritten += int64(w.buf.Len())
+	w.fs.bumpLocked(datasetOf(w.path))
+	return nil
+}
+
+func (fs *FS) bumpLocked(dataset string) {
+	fs.nextVer++
+	fs.version[dataset] = fs.nextVer
+}
+
+// WriteFile writes data to path in one call.
+func (fs *FS) WriteFile(path string, data []byte) error {
+	w := fs.Create(path)
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// Open returns a reader over the file at path.
+func (fs *FS) Open(path string) (io.Reader, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[clean(path)]
+	if !ok {
+		return nil, &PathError{Op: "open", Path: path, Err: ErrNotExist}
+	}
+	fs.bytesRead += int64(len(f.data))
+	return bytes.NewReader(f.data), nil
+}
+
+// ReadFile returns the contents of the file at path.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[clean(path)]
+	if !ok {
+		return nil, &PathError{Op: "read", Path: path, Err: ErrNotExist}
+	}
+	fs.bytesRead += int64(len(f.data))
+	return append([]byte(nil), f.data...), nil
+}
+
+// Exists reports whether path names a file or a directory prefix.
+func (fs *FS) Exists(path string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	p := clean(path)
+	if _, ok := fs.files[p]; ok {
+		return true
+	}
+	prefix := p + "/"
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// List returns the file paths under the directory path, sorted. A file's
+// own path lists as itself; the empty path lists everything.
+func (fs *FS) List(path string) []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	p := clean(path)
+	var out []string
+	if p == "" {
+		for name := range fs.files {
+			out = append(out, name)
+		}
+		sort.Strings(out)
+		return out
+	}
+	if _, ok := fs.files[p]; ok {
+		out = append(out, p)
+	}
+	prefix := p + "/"
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the total bytes stored under path (file or directory).
+func (fs *FS) Size(path string) int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	p := clean(path)
+	var n int64
+	if f, ok := fs.files[p]; ok {
+		n += int64(len(f.data))
+	}
+	prefix := p + "/"
+	for name, f := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			n += int64(len(f.data))
+		}
+	}
+	return n
+}
+
+// Delete removes the file or directory tree at path. Deleting bumps the
+// dataset version so repository entries that depend on it invalidate.
+func (fs *FS) Delete(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	p := clean(path)
+	found := false
+	if _, ok := fs.files[p]; ok {
+		delete(fs.files, p)
+		found = true
+	}
+	prefix := p + "/"
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			delete(fs.files, name)
+			found = true
+		}
+	}
+	if !found {
+		return &PathError{Op: "delete", Path: path, Err: ErrNotExist}
+	}
+	fs.bumpLocked(datasetOf(p))
+	return nil
+}
+
+// Version returns the modification version of the dataset containing
+// path. Zero means the dataset has never been written.
+func (fs *FS) Version(path string) int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.version[datasetOf(path)]
+}
+
+// BytesRead returns the cumulative bytes read through the FS.
+func (fs *FS) BytesRead() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.bytesRead
+}
+
+// BytesWritten returns the cumulative bytes written through the FS.
+func (fs *FS) BytesWritten() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.bytesWritten
+}
+
+// TotalBytes returns the total bytes currently stored.
+func (fs *FS) TotalBytes() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var n int64
+	for _, f := range fs.files {
+		n += int64(len(f.data))
+	}
+	return n
+}
+
+// ErrNotExist reports a missing path.
+var ErrNotExist = fmt.Errorf("file does not exist")
+
+// PathError records an error, the operation, and the path that caused it.
+type PathError struct {
+	Op   string
+	Path string
+	Err  error
+}
+
+func (e *PathError) Error() string { return "dfs: " + e.Op + " " + e.Path + ": " + e.Err.Error() }
+
+// Unwrap returns the underlying error.
+func (e *PathError) Unwrap() error { return e.Err }

@@ -1,0 +1,147 @@
+package dfs
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestCreateReadRoundTrip(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("data/users/part-00000", []byte("alice\nbob\n")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := fs.ReadFile("data/users/part-00000")
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != "alice\nbob\n" {
+		t.Errorf("read %q", got)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	fs := New()
+	_, err := fs.Open("nope")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *PathError
+	if !errors.As(err, &pe) || !errors.Is(err, ErrNotExist) {
+		t.Errorf("error %v should be a PathError wrapping ErrNotExist", err)
+	}
+}
+
+func TestListAndSize(t *testing.T) {
+	fs := New()
+	fs.WriteFile("out/q1/part-00000", []byte("aaaa"))
+	fs.WriteFile("out/q1/part-00001", []byte("bb"))
+	fs.WriteFile("out/q2/part-00000", []byte("c"))
+
+	files := fs.List("out/q1")
+	if len(files) != 2 {
+		t.Fatalf("List = %v, want 2 files", files)
+	}
+	if files[0] != "out/q1/part-00000" || files[1] != "out/q1/part-00001" {
+		t.Errorf("List not sorted: %v", files)
+	}
+	if n := fs.Size("out/q1"); n != 6 {
+		t.Errorf("Size(out/q1) = %d, want 6", n)
+	}
+	if n := fs.Size("out"); n != 7 {
+		t.Errorf("Size(out) = %d, want 7", n)
+	}
+}
+
+func TestExists(t *testing.T) {
+	fs := New()
+	fs.WriteFile("a/b/part-00000", []byte("x"))
+	for _, p := range []string{"a/b/part-00000", "a/b", "a"} {
+		if !fs.Exists(p) {
+			t.Errorf("Exists(%q) = false", p)
+		}
+	}
+	if fs.Exists("a/c") {
+		t.Errorf("Exists(a/c) = true")
+	}
+}
+
+func TestDeleteTree(t *testing.T) {
+	fs := New()
+	fs.WriteFile("d/part-00000", []byte("x"))
+	fs.WriteFile("d/part-00001", []byte("y"))
+	if err := fs.Delete("d"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if fs.Exists("d") {
+		t.Errorf("directory survived Delete")
+	}
+	if err := fs.Delete("d"); err == nil {
+		t.Errorf("deleting missing path should error")
+	}
+}
+
+func TestVersionBumpsOnWriteAndDelete(t *testing.T) {
+	fs := New()
+	if v := fs.Version("data/users"); v != 0 {
+		t.Fatalf("fresh version = %d, want 0", v)
+	}
+	fs.WriteFile("data/users/part-00000", []byte("a"))
+	v1 := fs.Version("data/users")
+	if v1 == 0 {
+		t.Fatal("version did not bump on write")
+	}
+	// Version is per dataset: part files map to the directory.
+	if fs.Version("data/users/part-00000") != v1 {
+		t.Errorf("part file should share the dataset version")
+	}
+	fs.WriteFile("data/users/part-00001", []byte("b"))
+	v2 := fs.Version("data/users")
+	if v2 <= v1 {
+		t.Errorf("version did not advance: %d -> %d", v1, v2)
+	}
+	fs.Delete("data/users")
+	if fs.Version("data/users") <= v2 {
+		t.Errorf("version did not advance on delete")
+	}
+}
+
+func TestByteMeters(t *testing.T) {
+	fs := New()
+	fs.WriteFile("f", []byte("12345"))
+	if fs.BytesWritten() != 5 {
+		t.Errorf("BytesWritten = %d, want 5", fs.BytesWritten())
+	}
+	r, err := fs.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(r)
+	if fs.BytesRead() != 5 {
+		t.Errorf("BytesRead = %d, want 5", fs.BytesRead())
+	}
+	if fs.TotalBytes() != 5 {
+		t.Errorf("TotalBytes = %d, want 5", fs.TotalBytes())
+	}
+}
+
+func TestCreateOverwrites(t *testing.T) {
+	fs := New()
+	fs.WriteFile("x", []byte("old"))
+	fs.WriteFile("x", []byte("new!"))
+	got, _ := fs.ReadFile("x")
+	if string(got) != "new!" {
+		t.Errorf("read %q after overwrite", got)
+	}
+	if fs.TotalBytes() != 4 {
+		t.Errorf("TotalBytes = %d, want 4", fs.TotalBytes())
+	}
+}
+
+func TestPathNormalization(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/p/q/", []byte("z"))
+	if !fs.Exists("p/q") {
+		t.Errorf("leading/trailing slashes should normalize")
+	}
+}

@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pigmix"
+)
+
+// shrinkScales swaps in tiny instances so experiment tests stay fast,
+// restoring the paper scales afterwards.
+func shrinkScales(t *testing.T) {
+	t.Helper()
+	origSmall, origLarge, origSyn := scaleSmall, scaleLarge, synScale
+	scaleSmall = pigmix.Scale{Name: "t15", PageViews: 600, TargetSimBytes: 3 << 30, TargetRows: 2_000_000}
+	scaleLarge = pigmix.Scale{Name: "t150", PageViews: 2_400, TargetSimBytes: 12 << 30, TargetRows: 8_000_000}
+	synScale = pigmix.SyntheticScale{Rows: 1_200, TargetSimBytes: 2 << 30, TargetRows: 6_000_000}
+	t.Cleanup(func() {
+		scaleSmall, scaleLarge, synScale = origSmall, origLarge, origSyn
+	})
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{
+		ID:      "Figure X",
+		Title:   "test",
+		Columns: []string{"A", "LongColumn"},
+	}
+	r.AddRow("x", "1")
+	r.AddRow("yyyy", "2")
+	r.Notes = append(r.Notes, "a note")
+	out := r.String()
+	for _, want := range []string{"Figure X", "LongColumn", "yyyy", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSibling(t *testing.T) {
+	cases := map[string]string{
+		"L3": "L3a", "L3a": "L3", "L3b": "L3", "L3c": "L3",
+		"L11": "L11a", "L11a": "L11", "L11d": "L11",
+	}
+	for q, want := range cases {
+		if got := sibling(q); got != want {
+			t.Errorf("sibling(%s) = %s, want %s", q, got, want)
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	shrinkScales(t)
+	rep, err := Figure9()
+	if err != nil {
+		t.Fatalf("Figure9: %v", err)
+	}
+	if len(rep.Rows) != len(pigmix.VariantSuite) {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), len(pigmix.VariantSuite))
+	}
+	// Reuse must beat no-reuse on every row (speedup > 1).
+	for _, row := range rep.Rows {
+		if !(row[3] > "1") && !strings.HasPrefix(row[3], "1.") {
+			// speedup rendered as %.2f; anything starting "0." fails
+			if strings.HasPrefix(row[3], "0.") {
+				t.Errorf("%s: speedup %s < 1", row[0], row[3])
+			}
+		}
+	}
+}
+
+func TestStudyShape(t *testing.T) {
+	shrinkScales(t)
+	st := NewStudy()
+	m, err := st.Measure(scaleLarge, 2 /* Aggressive */, "L3")
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if m.Generate <= m.NoReuse {
+		t.Errorf("generating sub-jobs should cost more than baseline: %v vs %v", m.Generate, m.NoReuse)
+	}
+	if m.Reuse >= m.NoReuse {
+		t.Errorf("reuse should beat baseline: %v vs %v", m.Reuse, m.NoReuse)
+	}
+	if m.StoredSimBytes <= 0 || m.InputSimBytes <= 0 {
+		t.Errorf("byte accounting: stored=%d input=%d", m.StoredSimBytes, m.InputSimBytes)
+	}
+	if m.StoredSimBytes >= m.InputSimBytes {
+		t.Errorf("stored %d should be far below input %d", m.StoredSimBytes, m.InputSimBytes)
+	}
+	// Cached: second call must be instant and identical.
+	m2, err := st.Measure(scaleLarge, 2, "L3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m {
+		t.Errorf("cache returned different measurement")
+	}
+}
+
+func TestTable2Measured(t *testing.T) {
+	shrinkScales(t)
+	rep, err := Table2()
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	if len(rep.Rows) != len(pigmix.SyntheticFields) {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestProjectFilterPoint(t *testing.T) {
+	shrinkScales(t)
+	over, speedup, pct, err := projectFilterPoint(pigmix.QP(1))
+	if err != nil {
+		t.Fatalf("projectFilterPoint: %v", err)
+	}
+	if over <= 1 {
+		t.Errorf("overhead = %v, want > 1", over)
+	}
+	if speedup <= 1 {
+		t.Errorf("speedup = %v, want > 1", speedup)
+	}
+	if pct <= 0 || pct >= 100 {
+		t.Errorf("projected pct = %v", pct)
+	}
+}

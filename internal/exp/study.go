@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/pigmix"
+)
+
+// subjobMeasure is one (scale, heuristic, query) measurement triple of
+// the sub-job experiments: the baseline time, the time while
+// materializing sub-jobs, and the time when reusing them — plus the
+// byte accounting Table 1 reports.
+type subjobMeasure struct {
+	NoReuse  time.Duration
+	Generate time.Duration
+	Reuse    time.Duration
+
+	InputSimBytes  int64
+	StoredSimBytes int64
+	OutputSimBytes int64
+}
+
+// Study caches sub-job measurements shared by Figures 10–14 and
+// Table 1, so the harness executes each configuration once.
+type Study struct {
+	cache map[string]subjobMeasure
+}
+
+// NewStudy returns an empty measurement cache.
+func NewStudy() *Study { return &Study{cache: map[string]subjobMeasure{}} }
+
+// Measure runs (or recalls) the three-phase sub-job experiment for one
+// query at one scale under one heuristic:
+//
+//  1. baseline: no reuse, no materialization;
+//  2. generate: materialize sub-jobs per the heuristic (cold repository);
+//  3. reuse: rewrite against the now-warm repository.
+//
+// All three phases execute in one System so phase 3 sees phase 2's
+// repository, mirroring the paper's methodology.
+func (st *Study) Measure(sc pigmix.Scale, h core.Heuristic, query string) (subjobMeasure, error) {
+	key := sc.Name + "/" + h.String() + "/" + query
+	if m, ok := st.cache[key]; ok {
+		return m, nil
+	}
+	sys, err := newPigMixSystem(sc, restore.Options{})
+	if err != nil {
+		return subjobMeasure{}, err
+	}
+
+	// Phase 1: baseline.
+	r1, err := runQuery(sys, query)
+	if err != nil {
+		return subjobMeasure{}, err
+	}
+
+	// Phase 2: generate sub-jobs (storing on, reuse off).
+	sys.SetOptions(restore.Options{Heuristic: h})
+	r2, err := runQuery(sys, query)
+	if err != nil {
+		return subjobMeasure{}, err
+	}
+
+	// Phase 3: reuse (rewriting on, storing off, so the measurement is
+	// pure reuse, as in the paper's "all sub-jobs available" runs).
+	sys.SetOptions(restore.Options{Reuse: true})
+	r3, err := runQuery(sys, query)
+	if err != nil {
+		return subjobMeasure{}, err
+	}
+
+	var inBytes, outBytes int64
+	q, _ := pigmix.Get(query)
+	for _, js := range r1.JobStats {
+		if out, ok := js.Outputs[q.Output]; ok {
+			outBytes += out.SimBytes
+		}
+	}
+	inBytes = inputVolume(r1)
+
+	m := subjobMeasure{
+		NoReuse:        r1.SimTime,
+		Generate:       r2.SimTime,
+		Reuse:          r3.SimTime,
+		InputSimBytes:  inBytes,
+		StoredSimBytes: r2.ExtraStoredSimBytes,
+		OutputSimBytes: outBytes,
+	}
+	st.cache[key] = m
+	return m, nil
+}
+
+// inputVolume sums the bytes loaded from base datasets, matching
+// Table 1's "I/P" column: total input minus inter-job temporaries
+// (each temp written by one job is read once by its dependant in these
+// workflows).
+func inputVolume(r *restore.Result) int64 {
+	var total int64
+	for _, js := range r.JobStats {
+		total += js.InputSimBytes
+	}
+	for _, js := range r.JobStats {
+		for p, o := range js.Outputs {
+			if strings.HasPrefix(p, "tmp/") {
+				total -= o.SimBytes
+			}
+		}
+	}
+	return total
+}

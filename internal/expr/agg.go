@@ -1,0 +1,383 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tuple"
+)
+
+// AggKind identifies an aggregate function applied to a bag.
+type AggKind int
+
+// The aggregate functions of the Pig builtin set that the PigMix queries
+// exercise.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// AggKindByName resolves a (case-insensitive) function name.
+func AggKindByName(name string) (AggKind, bool) {
+	switch strings.ToUpper(name) {
+	case "COUNT":
+		return AggCount, true
+	case "SUM":
+		return AggSum, true
+	case "AVG":
+		return AggAvg, true
+	case "MIN":
+		return AggMin, true
+	case "MAX":
+		return AggMax, true
+	}
+	return 0, false
+}
+
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	}
+	return fmt.Sprintf("AGG(%d)", int(k))
+}
+
+// Agg applies an aggregate function over a bag-valued expression. Field
+// selects the bag-tuple column to aggregate; -1 aggregates whole tuples
+// (only meaningful for COUNT).
+type Agg struct {
+	Kind  AggKind
+	Bag   Expr
+	Field int
+}
+
+// Eval computes the aggregate. A null or missing bag aggregates as an
+// empty bag. SUM/AVG/MIN/MAX skip null and non-numeric fields the way
+// Pig's builtins do; COUNT counts non-null fields (or all tuples when
+// Field is -1).
+func (a Agg) Eval(t tuple.Tuple) (tuple.Value, error) {
+	bv, err := a.Bag.Eval(t)
+	if err != nil {
+		return nil, err
+	}
+	bag, _ := bv.(*tuple.Bag)
+	if bag == nil {
+		if a.Kind == AggCount {
+			return int64(0), nil
+		}
+		return nil, nil
+	}
+	if a.Kind == AggCount && a.Field < 0 {
+		return int64(bag.Len()), nil
+	}
+	var (
+		count int64
+		sum   float64
+		minV  tuple.Value
+		maxV  tuple.Value
+		allI  = true
+		sumI  int64
+	)
+	for _, bt := range bag.Tuples {
+		var v tuple.Value
+		if a.Field < 0 {
+			if len(bt) > 0 {
+				v = bt[0]
+			}
+		} else if a.Field < len(bt) {
+			v = bt[a.Field]
+		}
+		if tuple.IsNull(v) {
+			continue
+		}
+		switch a.Kind {
+		case AggCount:
+			count++
+		case AggSum, AggAvg:
+			f, ok := tuple.ToFloat(v)
+			if !ok {
+				continue
+			}
+			count++
+			sum += f
+			if i, isInt := v.(int64); isInt {
+				sumI += i
+			} else {
+				allI = false
+			}
+		case AggMin:
+			if minV == nil || tuple.Compare(v, minV) < 0 {
+				minV = v
+			}
+		case AggMax:
+			if maxV == nil || tuple.Compare(v, maxV) > 0 {
+				maxV = v
+			}
+		}
+	}
+	switch a.Kind {
+	case AggCount:
+		return count, nil
+	case AggSum:
+		if count == 0 {
+			return nil, nil
+		}
+		if allI {
+			return sumI, nil
+		}
+		return sum, nil
+	case AggAvg:
+		if count == 0 {
+			return nil, nil
+		}
+		return sum / float64(count), nil
+	case AggMin:
+		return minV, nil
+	case AggMax:
+		return maxV, nil
+	}
+	return nil, fmt.Errorf("expr: unknown aggregate %v", a.Kind)
+}
+
+func (a Agg) String() string {
+	if a.Field < 0 {
+		return fmt.Sprintf("%s(%s)", a.Kind, a.Bag)
+	}
+	return fmt.Sprintf("%s(%s.$%d)", a.Kind, a.Bag, a.Field)
+}
+
+// BagField projects one column out of every tuple of a bag, producing a
+// new bag of 1-field tuples. It implements Pig's "C.est_revenue" when the
+// projection is used as a value rather than inside an aggregate.
+type BagField struct {
+	Bag   Expr
+	Field int
+}
+
+// Eval projects the bag column.
+func (b BagField) Eval(t tuple.Tuple) (tuple.Value, error) {
+	bv, err := b.Bag.Eval(t)
+	if err != nil {
+		return nil, err
+	}
+	bag, _ := bv.(*tuple.Bag)
+	if bag == nil {
+		return nil, nil
+	}
+	out := &tuple.Bag{Tuples: make([]tuple.Tuple, 0, bag.Len())}
+	for _, bt := range bag.Tuples {
+		var v tuple.Value
+		if b.Field >= 0 && b.Field < len(bt) {
+			v = bt[b.Field]
+		}
+		out.Add(tuple.Tuple{v})
+	}
+	return out, nil
+}
+
+func (b BagField) String() string {
+	return fmt.Sprintf("bagfield(%s,$%d)", b.Bag, b.Field)
+}
+
+// Func is a scalar builtin function call.
+type Func struct {
+	Name string // canonical upper-case name
+	Args []Expr
+}
+
+// Eval dispatches on the function name. Supported builtins: ISEMPTY
+// (bags), SIZE (bags/strings/tuples), CONCAT, LOWER, UPPER.
+func (f Func) Eval(t tuple.Tuple) (tuple.Value, error) {
+	args := make([]tuple.Value, len(f.Args))
+	for i, a := range f.Args {
+		v, err := a.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	switch f.Name {
+	case "ISEMPTY":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("expr: ISEMPTY wants 1 arg, got %d", len(args))
+		}
+		bag, _ := args[0].(*tuple.Bag)
+		return boolVal(bag.Len() == 0), nil
+	case "SIZE":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("expr: SIZE wants 1 arg, got %d", len(args))
+		}
+		switch x := args[0].(type) {
+		case *tuple.Bag:
+			return int64(x.Len()), nil
+		case tuple.Tuple:
+			return int64(len(x)), nil
+		case string:
+			return int64(len(x)), nil
+		case nil:
+			return nil, nil
+		default:
+			return int64(1), nil
+		}
+	case "CONCAT":
+		var b strings.Builder
+		for _, a := range args {
+			if tuple.IsNull(a) {
+				return nil, nil
+			}
+			b.WriteString(tuple.ToString(a))
+		}
+		return b.String(), nil
+	case "LOWER":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("expr: LOWER wants 1 arg")
+		}
+		s, _ := args[0].(string)
+		return strings.ToLower(s), nil
+	case "UPPER":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("expr: UPPER wants 1 arg")
+		}
+		s, _ := args[0].(string)
+		return strings.ToUpper(s), nil
+	}
+	return nil, fmt.Errorf("expr: unknown function %s", f.Name)
+}
+
+func (f Func) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", f.Name, strings.Join(parts, ","))
+}
+
+// IsScalarFunc reports whether name is a supported scalar builtin.
+func IsScalarFunc(name string) bool {
+	switch strings.ToUpper(name) {
+	case "ISEMPTY", "SIZE", "CONCAT", "LOWER", "UPPER":
+		return true
+	}
+	return false
+}
+
+// Columns returns the set of top-level input columns the expression
+// reads, used by optimizer rules and the sub-job enumerator.
+func Columns(e Expr) []int {
+	seen := map[int]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case Col:
+			seen[x.Index] = true
+		case Const:
+		case Binary:
+			walk(x.L)
+			walk(x.R)
+		case Compare:
+			walk(x.L)
+			walk(x.R)
+		case Logic:
+			walk(x.L)
+			walk(x.R)
+		case Not:
+			walk(x.E)
+		case Agg:
+			walk(x.Bag)
+		case BagField:
+			walk(x.Bag)
+		case Func:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Remap rewrites every column reference through m (old index → new
+// index). It returns false when a referenced column is missing from m.
+// The optimizer uses it to push expressions through projections.
+func Remap(e Expr, m map[int]int) (Expr, bool) {
+	switch x := e.(type) {
+	case Col:
+		ni, ok := m[x.Index]
+		if !ok {
+			return nil, false
+		}
+		return Col{Index: ni}, true
+	case Const:
+		return x, true
+	case Binary:
+		l, ok1 := Remap(x.L, m)
+		r, ok2 := Remap(x.R, m)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return Binary{Op: x.Op, L: l, R: r}, true
+	case Compare:
+		l, ok1 := Remap(x.L, m)
+		r, ok2 := Remap(x.R, m)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return Compare{Op: x.Op, L: l, R: r}, true
+	case Logic:
+		l, ok1 := Remap(x.L, m)
+		r, ok2 := Remap(x.R, m)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return Logic{Op: x.Op, L: l, R: r}, true
+	case Not:
+		inner, ok := Remap(x.E, m)
+		if !ok {
+			return nil, false
+		}
+		return Not{E: inner}, true
+	case Agg:
+		b, ok := Remap(x.Bag, m)
+		if !ok {
+			return nil, false
+		}
+		return Agg{Kind: x.Kind, Bag: b, Field: x.Field}, true
+	case BagField:
+		b, ok := Remap(x.Bag, m)
+		if !ok {
+			return nil, false
+		}
+		return BagField{Bag: b, Field: x.Field}, true
+	case Func:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			na, ok := Remap(a, m)
+			if !ok {
+				return nil, false
+			}
+			args[i] = na
+		}
+		return Func{Name: x.Name, Args: args}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,194 @@
+package logical
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/piglatin"
+	"repro/internal/tuple"
+)
+
+// Resolve converts a name-based parser expression into a positional
+// runtime expression against the given input schema. Aggregate calls
+// (COUNT/SUM/…) over bag columns become expr.Agg; dotted projections of
+// bag columns become expr.BagField.
+func Resolve(e piglatin.Expr, sch *tuple.Schema) (expr.Expr, error) {
+	switch x := e.(type) {
+	case piglatin.Ident:
+		idx, err := lookupColumn(sch, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewCol(idx), nil
+
+	case piglatin.Dollar:
+		if sch.Len() > 0 && x.Idx >= sch.Len() {
+			return nil, fmt.Errorf("logical: $%d out of range for schema %s", x.Idx, sch)
+		}
+		return expr.NewCol(x.Idx), nil
+
+	case piglatin.IntLit:
+		return expr.Const{V: x.V}, nil
+	case piglatin.FloatLit:
+		return expr.Const{V: x.V}, nil
+	case piglatin.StrLit:
+		return expr.Const{V: x.V}, nil
+
+	case piglatin.Neg:
+		inner, err := Resolve(x.E, sch)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Binary{Op: expr.OpSub, L: expr.Const{V: int64(0)}, R: inner}, nil
+
+	case piglatin.NotExpr:
+		inner, err := Resolve(x.E, sch)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not{E: inner}, nil
+
+	case piglatin.BinExpr:
+		return resolveBinary(x, sch)
+
+	case piglatin.Dot:
+		return resolveDot(x, sch)
+
+	case piglatin.Call:
+		return resolveCall(x, sch)
+
+	case piglatin.Star:
+		return nil, fmt.Errorf("logical: '*' is only valid directly in a GENERATE list")
+	}
+	return nil, fmt.Errorf("logical: cannot resolve expression %T", e)
+}
+
+// lookupColumn finds a column by name, trying the exact (case-folded)
+// name first and then an unambiguous "alias::name" suffix match, so that
+// post-join fields can be referenced by their short names.
+func lookupColumn(sch *tuple.Schema, name string) (int, error) {
+	if idx := sch.IndexOf(name); idx >= 0 {
+		return idx, nil
+	}
+	found := -1
+	suffix := "::" + strings.ToLower(name)
+	for i, f := range sch.Fields {
+		if strings.HasSuffix(strings.ToLower(f.Name), suffix) {
+			if found >= 0 {
+				return -1, fmt.Errorf("logical: ambiguous column %q in schema %s", name, sch)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("logical: unknown column %q in schema %s", name, sch)
+	}
+	return found, nil
+}
+
+func resolveBinary(x piglatin.BinExpr, sch *tuple.Schema) (expr.Expr, error) {
+	l, err := Resolve(x.L, sch)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Resolve(x.R, sch)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "+":
+		return expr.Binary{Op: expr.OpAdd, L: l, R: r}, nil
+	case "-":
+		return expr.Binary{Op: expr.OpSub, L: l, R: r}, nil
+	case "*":
+		return expr.Binary{Op: expr.OpMul, L: l, R: r}, nil
+	case "/":
+		return expr.Binary{Op: expr.OpDiv, L: l, R: r}, nil
+	case "%":
+		return expr.Binary{Op: expr.OpMod, L: l, R: r}, nil
+	case "==":
+		return expr.Compare{Op: expr.CmpEq, L: l, R: r}, nil
+	case "!=":
+		return expr.Compare{Op: expr.CmpNe, L: l, R: r}, nil
+	case "<":
+		return expr.Compare{Op: expr.CmpLt, L: l, R: r}, nil
+	case "<=":
+		return expr.Compare{Op: expr.CmpLe, L: l, R: r}, nil
+	case ">":
+		return expr.Compare{Op: expr.CmpGt, L: l, R: r}, nil
+	case ">=":
+		return expr.Compare{Op: expr.CmpGe, L: l, R: r}, nil
+	case "and":
+		return expr.Logic{Op: expr.LogicAnd, L: l, R: r}, nil
+	case "or":
+		return expr.Logic{Op: expr.LogicOr, L: l, R: r}, nil
+	}
+	return nil, fmt.Errorf("logical: unknown binary operator %q", x.Op)
+}
+
+// resolveDot handles "bagcol.field" and "bagcol.$n": projecting a column
+// out of a bag-typed column.
+func resolveDot(x piglatin.Dot, sch *tuple.Schema) (expr.Expr, error) {
+	baseIdent, ok := x.Base.(piglatin.Ident)
+	if !ok {
+		return nil, fmt.Errorf("logical: dotted access requires a column base, got %T", x.Base)
+	}
+	idx, err := lookupColumn(sch, baseIdent.Name)
+	if err != nil {
+		return nil, err
+	}
+	field := sch.Fields[idx]
+	inner := field.Inner
+	fieldIdx := x.FieldIdx
+	if fieldIdx < 0 {
+		if inner == nil {
+			return nil, fmt.Errorf("logical: column %q has no nested schema for .%s", baseIdent.Name, x.Field)
+		}
+		idx, err := lookupColumn(inner, x.Field)
+		if err != nil {
+			return nil, fmt.Errorf("logical: no field %q inside %q (schema %s)", x.Field, baseIdent.Name, inner)
+		}
+		fieldIdx = idx
+	}
+	return expr.BagField{Bag: expr.NewCol(idx), Field: fieldIdx}, nil
+}
+
+func resolveCall(x piglatin.Call, sch *tuple.Schema) (expr.Expr, error) {
+	if kind, ok := expr.AggKindByName(x.Name); ok {
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("logical: %s takes exactly one argument", strings.ToUpper(x.Name))
+		}
+		arg, err := Resolve(x.Args[0], sch)
+		if err != nil {
+			return nil, err
+		}
+		switch a := arg.(type) {
+		case expr.BagField:
+			bagCol, ok := a.Bag.(expr.Col)
+			if !ok {
+				return nil, fmt.Errorf("logical: %s argument must project a bag column", x.Name)
+			}
+			return expr.Agg{Kind: kind, Bag: bagCol, Field: a.Field}, nil
+		case expr.Col:
+			if sch.Len() > a.Index && sch.Fields[a.Index].Type != tuple.TypeBag {
+				return nil, fmt.Errorf("logical: %s argument %q is not a bag", x.Name, sch.Fields[a.Index].Name)
+			}
+			return expr.Agg{Kind: kind, Bag: a, Field: -1}, nil
+		default:
+			return nil, fmt.Errorf("logical: unsupported %s argument %s", x.Name, arg)
+		}
+	}
+	if expr.IsScalarFunc(x.Name) {
+		f := expr.Func{Name: strings.ToUpper(x.Name)}
+		for _, a := range x.Args {
+			ra, err := Resolve(a, sch)
+			if err != nil {
+				return nil, err
+			}
+			f.Args = append(f.Args, ra)
+		}
+		return f, nil
+	}
+	return nil, fmt.Errorf("logical: unknown function %q", x.Name)
+}

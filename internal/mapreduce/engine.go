@@ -1,0 +1,624 @@
+// Package mapreduce executes physical MapReduce jobs: it splits inputs,
+// runs map tasks over the map segment of the job's plan, partitions and
+// sorts the keyed output, runs reduce tasks over the reduce segment, and
+// writes part files to the DFS — a faithful, laptop-scale Hadoop.
+//
+// Every task's byte and record counts are scaled by the configured
+// SimScale and fed through the cluster cost model, so each job reports
+// both its real wall-clock time and its simulated "time on Hadoop".
+package mapreduce
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/physical"
+	"repro/internal/tuple"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Topology is the simulated cluster layout.
+	Topology cluster.Topology
+	// Cost converts task workloads to simulated durations.
+	Cost cluster.CostModel
+	// SimScale is the ratio of simulated bytes to actual ones; 1 means
+	// "simulate exactly what ran".
+	SimScale float64
+	// RecordScale is the ratio of simulated records to actual ones;
+	// it defaults to SimScale but should be set separately when the
+	// scaled-down rows are narrower or wider than the originals.
+	RecordScale float64
+	// SplitSize is the simulated input split size (default 128 MiB).
+	SplitSize int64
+	// Parallelism bounds real goroutines running tasks (default NumCPU).
+	Parallelism int
+}
+
+// DefaultConfig mirrors the paper's testbed with no scale-up.
+func DefaultConfig() Config {
+	return Config{
+		Topology:  cluster.DefaultTopology(),
+		Cost:      cluster.DefaultCostModel(),
+		SimScale:  1,
+		SplitSize: 128 << 20,
+	}
+}
+
+// Engine executes jobs against a DFS.
+type Engine struct {
+	fs  *dfs.FS
+	cfg Config
+}
+
+// New returns an engine over fs.
+func New(fs *dfs.FS, cfg Config) *Engine {
+	if cfg.SimScale <= 0 {
+		cfg.SimScale = 1
+	}
+	if cfg.RecordScale <= 0 {
+		cfg.RecordScale = cfg.SimScale
+	}
+	if cfg.SplitSize <= 0 {
+		cfg.SplitSize = 128 << 20
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.NumCPU()
+	}
+	if cfg.Topology.Workers <= 0 {
+		cfg.Topology = cluster.DefaultTopology()
+	}
+	return &Engine{fs: fs, cfg: cfg}
+}
+
+// FS returns the engine's file system.
+func (e *Engine) FS() *dfs.FS { return e.fs }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// OutputStat describes one Store destination of an executed job.
+type OutputStat struct {
+	SimBytes int64
+	Records  int64
+}
+
+// JobStats aggregates one job execution.
+type JobStats struct {
+	JobID    string
+	MapTasks int
+	RedTasks int
+
+	InputSimBytes   int64
+	InputRecords    int64
+	ShuffleSimBytes int64
+	OutputSimBytes  int64 // the job's primary output
+	OutputRecords   int64
+
+	// Outputs covers every Store path the job wrote (primary and the
+	// sub-job side stores ReStore injects).
+	Outputs map[string]OutputStat
+
+	AvgMapTime time.Duration
+	AvgRedTime time.Duration
+	SimTime    time.Duration
+	WallTime   time.Duration
+}
+
+// rec is one shuffled record.
+type rec struct {
+	key    tuple.Value
+	branch int
+	t      tuple.Tuple
+	bytes  int64
+}
+
+// Run executes the job and returns its statistics.
+func (e *Engine) Run(job *physical.Job) (*JobStats, error) {
+	start := time.Now()
+	if err := job.Plan.Validate(); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %s: %w", job.ID, err)
+	}
+	seg, err := segments(job.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %s: %w", job.ID, err)
+	}
+	splits, err := e.makeSplits(job.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %s: %w", job.ID, err)
+	}
+	// Hadoop refuses to run a job whose output directory exists; here
+	// outputs are cleared instead so reruns replace rather than
+	// accumulate part files. Inputs are already in memory (makeSplits),
+	// so clearing is safe even when a job overwrites its own input.
+	for _, op := range job.Plan.Ops() {
+		if op.Kind == physical.KStore && e.fs.Exists(op.Path) {
+			if err := e.fs.Delete(op.Path); err != nil {
+				return nil, fmt.Errorf("mapreduce: clearing output %s: %w", op.Path, err)
+			}
+		}
+	}
+
+	numRed := job.NumReducers
+	if seg.shuffle == nil {
+		numRed = 0
+	} else if numRed <= 0 {
+		numRed = 1
+	}
+
+	stats := &JobStats{JobID: job.ID, Outputs: map[string]OutputStat{}}
+
+	mapResults, err := e.runMapPhase(job, seg, splits, numRed, stats)
+	if err != nil {
+		return nil, err
+	}
+	var mapTimes, redTimes []time.Duration
+	for _, mr := range mapResults {
+		mapTimes = append(mapTimes, e.cfg.Cost.TaskTime(mr.work))
+	}
+	if seg.shuffle != nil {
+		redTimes, err = e.runReducePhase(job, seg, mapResults, numRed, stats)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	stats.MapTasks = len(mapResults)
+	stats.RedTasks = numRed
+	stats.AvgMapTime = avg(mapTimes)
+	stats.AvgRedTime = avg(redTimes)
+	numOutputs := 0
+	for _, op := range job.Plan.Ops() {
+		if op.Kind == physical.KStore {
+			numOutputs++
+		}
+	}
+	stats.SimTime = e.cfg.Cost.JobTime(mapTimes, redTimes, numOutputs, e.cfg.Topology)
+	stats.WallTime = time.Since(start)
+	if out, ok := stats.Outputs[job.OutputPath]; ok {
+		stats.OutputSimBytes = out.SimBytes
+		stats.OutputRecords = out.Records
+	}
+	return stats, nil
+}
+
+func avg(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// segmentation splits the plan at the shuffle boundary.
+type segmentation struct {
+	plan    *physical.Plan
+	succ    map[int][]int
+	shuffle *physical.Op
+	pkg     *physical.Op
+	// inMap[id] is true for ops executed by map tasks.
+	inMap map[int]bool
+	// counts of pipeline ops per segment for the CPU cost model.
+	mapOps int
+	redOps int
+	// combine is non-nil when the job qualifies for Pig's algebraic
+	// combiner (see combine.go).
+	combine *combineSpec
+}
+
+func segments(p *physical.Plan) (*segmentation, error) {
+	s := &segmentation{plan: p, succ: p.Successors(), inMap: map[int]bool{}}
+	for _, op := range p.Ops() {
+		if op.Kind == physical.KShuffle {
+			if s.shuffle != nil {
+				return nil, fmt.Errorf("plan has more than one shuffle")
+			}
+			s.shuffle = op
+		}
+	}
+	if s.shuffle != nil {
+		for _, id := range s.succ[s.shuffle.ID] {
+			op := p.Op(id)
+			if op.Kind != physical.KPackage {
+				return nil, fmt.Errorf("shuffle successor %d is %s, want Package", id, op.Kind)
+			}
+			if s.pkg != nil {
+				return nil, fmt.Errorf("shuffle feeds more than one Package")
+			}
+			s.pkg = op
+		}
+		if s.pkg == nil {
+			return nil, fmt.Errorf("shuffle has no Package")
+		}
+		s.combine = detectCombine(p, s.succ, s.pkg)
+	}
+	// Reduce side = descendants of the shuffle; everything else is map.
+	reduceSet := map[int]bool{}
+	if s.shuffle != nil {
+		var mark func(id int)
+		mark = func(id int) {
+			if reduceSet[id] {
+				return
+			}
+			reduceSet[id] = true
+			for _, nxt := range s.succ[id] {
+				mark(nxt)
+			}
+		}
+		mark(s.shuffle.ID)
+	}
+	for _, op := range p.Ops() {
+		if !reduceSet[op.ID] {
+			s.inMap[op.ID] = true
+			s.mapOps++
+		} else {
+			s.redOps++
+		}
+	}
+	return s, nil
+}
+
+// split is one map task's input slice.
+type split struct {
+	loadID int
+	tuples []tuple.Tuple
+	bytes  int64 // actual bytes
+}
+
+// makeSplits reads every Load's part files and slices them into map
+// inputs of roughly SplitSize simulated bytes.
+func (e *Engine) makeSplits(p *physical.Plan) ([]split, error) {
+	var out []split
+	for _, op := range p.Ops() {
+		if op.Kind != physical.KLoad {
+			continue
+		}
+		files := e.fs.List(op.Path)
+		if len(files) == 0 {
+			return nil, fmt.Errorf("input %q does not exist", op.Path)
+		}
+		for _, f := range files {
+			data, err := e.fs.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			tuples, err := readAll(data)
+			if err != nil {
+				return nil, fmt.Errorf("reading %s: %w", f, err)
+			}
+			actualBytes := int64(len(data))
+			simBytes := int64(float64(actualBytes) * e.cfg.SimScale)
+			n := int((simBytes + e.cfg.SplitSize - 1) / e.cfg.SplitSize)
+			if n < 1 {
+				n = 1
+			}
+			if n > len(tuples) && len(tuples) > 0 {
+				n = len(tuples)
+			}
+			if len(tuples) == 0 {
+				out = append(out, split{loadID: op.ID, bytes: actualBytes})
+				continue
+			}
+			per := (len(tuples) + n - 1) / n
+			for i := 0; i < len(tuples); i += per {
+				j := i + per
+				if j > len(tuples) {
+					j = len(tuples)
+				}
+				chunk := tuples[i:j]
+				chunkBytes := actualBytes * int64(len(chunk)) / int64(len(tuples))
+				out = append(out, split{loadID: op.ID, tuples: chunk, bytes: chunkBytes})
+			}
+		}
+	}
+	return out, nil
+}
+
+func readAll(data []byte) ([]tuple.Tuple, error) {
+	r := tuple.NewReader(bytes.NewReader(data))
+	var out []tuple.Tuple
+	for {
+		t, err := r.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}
+
+// mapResult carries one map task's shuffle output and cost accounting.
+type mapResult struct {
+	parts   [][]rec // per reduce partition
+	work    cluster.TaskWork
+	outs    map[string]OutputStat
+	records int64
+}
+
+func (e *Engine) runMapPhase(job *physical.Job, seg *segmentation, splits []split, numRed int, stats *JobStats) ([]mapResult, error) {
+	results := make([]mapResult, len(splits))
+	errs := make([]error, len(splits))
+	sem := make(chan struct{}, e.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i := range splits {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[idx], errs[idx] = e.runMapTask(job, seg, splits[idx], idx, numRed)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %s: %w", job.ID, err)
+		}
+	}
+	for i := range results {
+		stats.InputSimBytes += int64(float64(splits[i].bytes) * e.cfg.SimScale)
+		stats.InputRecords += int64(float64(results[i].records) * e.cfg.RecordScale)
+		stats.ShuffleSimBytes += int64(float64(results[i].work.ShuffleBytes))
+		mergeOutputs(stats.Outputs, results[i].outs)
+	}
+	return results, nil
+}
+
+func mergeOutputs(dst map[string]OutputStat, src map[string]OutputStat) {
+	for p, s := range src {
+		cur := dst[p]
+		cur.SimBytes += s.SimBytes
+		cur.Records += s.Records
+		dst[p] = cur
+	}
+}
+
+func (e *Engine) runMapTask(job *physical.Job, seg *segmentation, sp split, taskIdx, numRed int) (mapResult, error) {
+	mr := mapResult{outs: map[string]OutputStat{}}
+	if numRed > 0 {
+		mr.parts = make([][]rec, numRed)
+	}
+	px := newExec(seg.plan, seg.succ, seg.inMap)
+	px.suffix = fmt.Sprintf("part-m-%05d", taskIdx)
+	var acc *combineAccumulator
+	switch {
+	case seg.combine != nil:
+		// Algebraic combiner: pre-aggregate per key in the map task.
+		acc = newCombineAccumulator(seg.combine, numRed)
+		px.keyed = func(branch int, key tuple.Value, t tuple.Tuple) {
+			acc.add(key, t, numRed)
+		}
+	case seg.pkg != nil && seg.pkg.Mode == physical.PkgDistinct:
+		// Map-side duplicate elimination (Pig's distinct combiner).
+		seen := make([]map[string]bool, numRed)
+		for i := range seen {
+			seen[i] = map[string]bool{}
+		}
+		px.keyed = func(branch int, key tuple.Value, t tuple.Tuple) {
+			p := int(tuple.Hash(key) % uint64(numRed))
+			ks := tuple.ToString(key)
+			if seen[p][ks] {
+				return
+			}
+			seen[p][ks] = true
+			n := int64(len(ks) + 2)
+			mr.parts[p] = append(mr.parts[p], rec{key: key, branch: branch, t: t, bytes: n})
+		}
+	default:
+		px.keyed = func(branch int, key tuple.Value, t tuple.Tuple) {
+			// Shuffle volume accounting approximates Pig's compact
+			// serialization with the text width of value plus key.
+			n := int64(len(tuple.EncodeText(t)) + len(tuple.ToString(key)) + 2)
+			r := rec{key: key, branch: branch, t: t, bytes: n}
+			p := int(tuple.Hash(key) % uint64(numRed))
+			mr.parts[p] = append(mr.parts[p], r)
+		}
+	}
+
+	for _, t := range sp.tuples {
+		mr.records++
+		if err := px.push(sp.loadID, t); err != nil {
+			return mr, err
+		}
+	}
+	if err := px.close(e.fs, e.cfg.SimScale, mr.outs); err != nil {
+		return mr, err
+	}
+	if acc != nil {
+		mr.parts = acc.drain()
+	}
+
+	var shuffleBytes, shuffleRecs int64
+	for _, p := range mr.parts {
+		for _, r := range p {
+			shuffleBytes += r.bytes
+			shuffleRecs++
+		}
+	}
+	var storeBytes int64
+	for _, o := range mr.outs {
+		storeBytes += o.SimBytes
+	}
+	mr.work = cluster.TaskWork{
+		ReadBytes:    int64(float64(sp.bytes) * e.cfg.SimScale),
+		ShuffleBytes: int64(float64(shuffleBytes) * e.cfg.SimScale),
+		StoreBytes:   storeBytes,
+		Records:      int64(float64(mr.records) * e.cfg.RecordScale),
+		PipelineOps:  seg.mapOps,
+		SortRecords:  int64(float64(shuffleRecs) * e.cfg.RecordScale),
+		NumStores:    px.numStores,
+	}
+	return mr, nil
+}
+
+func (e *Engine) runReducePhase(job *physical.Job, seg *segmentation, mapResults []mapResult, numRed int, stats *JobStats) ([]time.Duration, error) {
+	times := make([]time.Duration, numRed)
+	errs := make([]error, numRed)
+	outs := make([]map[string]OutputStat, numRed)
+	shuffleIn := make([]int64, numRed)
+	sem := make(chan struct{}, e.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for r := 0; r < numRed; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var recs []rec
+			for _, mr := range mapResults {
+				recs = append(recs, mr.parts[r]...)
+			}
+			outs[r] = map[string]OutputStat{}
+			times[r], shuffleIn[r], errs[r] = e.runReduceTask(seg, recs, r, outs[r])
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < numRed; r++ {
+		if errs[r] != nil {
+			return nil, fmt.Errorf("mapreduce: job %s reduce %d: %w", job.ID, r, errs[r])
+		}
+		mergeOutputs(stats.Outputs, outs[r])
+	}
+	return times, nil
+}
+
+func (e *Engine) runReduceTask(seg *segmentation, recs []rec, taskIdx int, outStats map[string]OutputStat) (time.Duration, int64, error) {
+	// Sort by key (respecting ORDER BY direction), then branch, stable.
+	desc := seg.pkg.Desc
+	sort.SliceStable(recs, func(i, j int) bool {
+		c := compareKeys(recs[i].key, recs[j].key, desc)
+		if c != 0 {
+			return c < 0
+		}
+		return recs[i].branch < recs[j].branch
+	})
+
+	px := newExec(seg.plan, seg.succ, nil)
+	px.suffix = fmt.Sprintf("part-r-%05d", taskIdx)
+
+	var shuffleBytes int64
+	for _, r := range recs {
+		shuffleBytes += r.bytes
+	}
+
+	// Walk key groups.
+	i := 0
+	for i < len(recs) {
+		j := i
+		for j < len(recs) && compareKeys(recs[j].key, recs[i].key, desc) == 0 {
+			j++
+		}
+		group := recs[i:j]
+		var err error
+		if seg.combine != nil {
+			err = mergeCombined(px, seg.combine, group)
+		} else {
+			err = e.emitGroup(px, seg, group)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		i = j
+	}
+	if err := px.close(e.fs, e.cfg.SimScale, outStats); err != nil {
+		return 0, 0, err
+	}
+
+	var storeBytes int64
+	for _, o := range outStats {
+		storeBytes += o.SimBytes
+	}
+	scale := e.cfg.SimScale
+	work := cluster.TaskWork{
+		ShuffleBytes: int64(float64(shuffleBytes) * scale),
+		StoreBytes:   storeBytes,
+		Records:      int64(float64(len(recs)) * e.cfg.RecordScale),
+		PipelineOps:  seg.redOps,
+		SortRecords:  int64(float64(len(recs)) * e.cfg.RecordScale),
+		NumStores:    px.numStores,
+	}
+	return e.cfg.Cost.TaskTime(work), int64(float64(shuffleBytes) * scale), nil
+}
+
+func compareKeys(a, b tuple.Value, desc []bool) int {
+	if len(desc) == 0 {
+		return tuple.Compare(a, b)
+	}
+	// Composite ORDER BY keys compare per component with direction.
+	at, aok := a.(tuple.Tuple)
+	bt, bok := b.(tuple.Tuple)
+	if !aok || !bok {
+		c := tuple.Compare(a, b)
+		if len(desc) > 0 && desc[0] {
+			return -c
+		}
+		return c
+	}
+	for i := range at {
+		if i >= len(bt) {
+			return 1
+		}
+		c := tuple.Compare(at[i], bt[i])
+		if c != 0 {
+			if i < len(desc) && desc[i] {
+				return -c
+			}
+			return c
+		}
+	}
+	if len(at) < len(bt) {
+		return -1
+	}
+	return 0
+}
+
+// emitGroup packages one key group and pushes it through the reduce
+// segment.
+func (e *Engine) emitGroup(px *exec, seg *segmentation, group []rec) error {
+	pkg := seg.pkg
+	switch pkg.Mode {
+	case physical.PkgGroup:
+		bags := make([]*tuple.Bag, pkg.NumInputs)
+		for i := range bags {
+			bags[i] = tuple.NewBag()
+		}
+		for _, r := range group {
+			if r.branch < len(bags) {
+				bags[r.branch].Add(r.t)
+			}
+		}
+		out := make(tuple.Tuple, 1+pkg.NumInputs)
+		out[0] = group[0].key
+		for i, b := range bags {
+			out[1+i] = b
+		}
+		return px.push(pkg.ID, out)
+	case physical.PkgDistinct:
+		kt, ok := group[0].key.(tuple.Tuple)
+		if !ok {
+			kt = tuple.Tuple{group[0].key}
+		}
+		return px.push(pkg.ID, kt)
+	case physical.PkgFlat:
+		for _, r := range group {
+			if err := px.push(pkg.ID, r.t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown package mode %v", pkg.Mode)
+}

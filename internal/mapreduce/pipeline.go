@@ -1,0 +1,258 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"repro/internal/dfs"
+	"repro/internal/expr"
+	"repro/internal/physical"
+	"repro/internal/tuple"
+)
+
+// exec interprets one segment of a physical plan in push mode: tuples
+// enter at a root (Load in map tasks, Package in reduce tasks) and flow
+// through successors until they hit a Store, a LocalRearrange, or get
+// filtered out.
+type exec struct {
+	plan *physical.Plan
+	succ map[int][]int
+	// inMap restricts the walk to map-segment ops (nil means no
+	// restriction — used by reduce tasks whose roots are already in the
+	// reduce segment).
+	inMap map[int]bool
+
+	// keyed receives LocalRearrange emissions (map tasks only).
+	keyed func(branch int, key tuple.Value, t tuple.Tuple)
+
+	// suffix names this task's part files, e.g. "part-m-00003".
+	suffix string
+
+	writers   map[int]*taskWriter // per Store op
+	limits    map[int]int64       // per Limit op counter
+	numStores int
+}
+
+type taskWriter struct {
+	path    string
+	rows    []tuple.Tuple
+	byteLen int64
+}
+
+func newExec(plan *physical.Plan, succ map[int][]int, inMap map[int]bool) *exec {
+	return &exec{
+		plan:    plan,
+		succ:    succ,
+		inMap:   inMap,
+		writers: map[int]*taskWriter{},
+		limits:  map[int]int64{},
+	}
+}
+
+// push delivers t to every successor of op fromID.
+func (x *exec) push(fromID int, t tuple.Tuple) error {
+	for _, sid := range x.succ[fromID] {
+		if x.inMap != nil && !x.inMap[sid] {
+			continue
+		}
+		if err := x.apply(sid, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (x *exec) apply(opID int, t tuple.Tuple) error {
+	op := x.plan.Op(opID)
+	switch op.Kind {
+	case physical.KForEach:
+		out := make(tuple.Tuple, len(op.Exprs))
+		for i, e := range op.Exprs {
+			v, err := e.Eval(t)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		return x.push(opID, out)
+
+	case physical.KFilter:
+		ok, err := expr.EvalBool(op.Cond, t)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		return x.push(opID, t)
+
+	case physical.KUnion, physical.KSplit:
+		return x.push(opID, t)
+
+	case physical.KLimit:
+		if x.limits[opID] >= op.N {
+			return nil
+		}
+		x.limits[opID]++
+		return x.push(opID, t)
+
+	case physical.KStore:
+		w := x.writers[opID]
+		if w == nil {
+			w = &taskWriter{path: op.Path}
+			x.writers[opID] = w
+		}
+		w.rows = append(w.rows, t)
+		return nil
+
+	case physical.KLocalRearrange:
+		key, err := rearrangeKey(op, t)
+		if err != nil {
+			return err
+		}
+		if op.DropNull && tuple.IsNull(key) {
+			return nil
+		}
+		if x.keyed == nil {
+			return fmt.Errorf("mapreduce: LocalRearrange outside a shuffling task")
+		}
+		x.keyed(op.Branch, key, t)
+		return nil
+
+	case physical.KJoinFlatten:
+		return x.joinFlatten(op, t)
+
+	case physical.KPackage, physical.KShuffle:
+		// Package output is produced by the framework (emitGroup); a
+		// tuple should never be pushed *into* these.
+		return fmt.Errorf("mapreduce: unexpected push into %s", op.Kind)
+
+	case physical.KLoad:
+		return fmt.Errorf("mapreduce: unexpected push into Load")
+	}
+	return fmt.Errorf("mapreduce: unhandled op kind %s", op.Kind)
+}
+
+// rearrangeKey computes the shuffle key: the single key expression's
+// value, a tuple for composite keys, or the constant "all" for GROUP ALL.
+func rearrangeKey(op *physical.Op, t tuple.Tuple) (tuple.Value, error) {
+	if op.GroupAll {
+		return "all", nil
+	}
+	if len(op.KeyExprs) == 1 {
+		return op.KeyExprs[0].Eval(t)
+	}
+	key := make(tuple.Tuple, len(op.KeyExprs))
+	for i, e := range op.KeyExprs {
+		v, err := e.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+		key[i] = v
+	}
+	return key, nil
+}
+
+// joinFlatten receives a Package group tuple (key, bag0, bag1, …) and
+// emits the inner-join cross product: one concatenated tuple per
+// combination, fields of input 0 first.
+func (x *exec) joinFlatten(op *physical.Op, t tuple.Tuple) error {
+	n := op.NumInputs
+	if len(t) != n+1 {
+		return fmt.Errorf("mapreduce: JoinFlatten got %d fields, want %d", len(t), n+1)
+	}
+	bags := make([]*tuple.Bag, n)
+	for i := 0; i < n; i++ {
+		b, ok := t[1+i].(*tuple.Bag)
+		if !ok || b.Len() == 0 {
+			return nil // inner join: a missing side produces nothing
+		}
+		bags[i] = b
+	}
+	idx := make([]int, n)
+	for {
+		var out tuple.Tuple
+		for i := 0; i < n; i++ {
+			out = append(out, bags[i].Tuples[idx[i]]...)
+		}
+		if err := x.push(op.ID, out); err != nil {
+			return err
+		}
+		// Advance the odometer.
+		k := n - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < bags[k].Len() {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			return nil
+		}
+	}
+}
+
+// close flushes every Store writer to the DFS (one part file per task
+// per Store, created even when empty, as Hadoop does) and accumulates
+// output statistics scaled to simulated bytes.
+func (x *exec) close(fs *dfs.FS, simScale float64, outStats map[string]OutputStat) error {
+	// Count every Store op in this segment (reachable ones), not just
+	// those that received rows: empty part files still get created and
+	// still pay the setup cost.
+	for _, op := range x.plan.Ops() {
+		if op.Kind != physical.KStore {
+			continue
+		}
+		if x.inMap != nil && !x.inMap[op.ID] {
+			continue
+		}
+		if x.inMap == nil {
+			// Reduce task: only reduce-segment stores apply; a map-only
+			// store would have inMap set. Reduce tasks pass inMap=nil,
+			// so restrict to stores downstream of the package by
+			// checking the writer map OR reachability; simplest: stores
+			// whose ancestors include a Package.
+			if !storeInReduce(x.plan, op.ID) {
+				continue
+			}
+		}
+		w := x.writers[op.ID]
+		if w == nil {
+			w = &taskWriter{path: op.Path}
+			x.writers[op.ID] = w
+		}
+		x.numStores++
+	}
+	for _, w := range x.writers {
+		f := fs.Create(w.path + "/" + x.suffix)
+		tw := tuple.NewWriter(f)
+		for _, t := range w.rows {
+			if err := tw.Write(t); err != nil {
+				return err
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		w.byteLen = tw.Bytes()
+		cur := outStats[w.path]
+		cur.SimBytes += int64(float64(tw.Bytes()) * simScale)
+		cur.Records += int64(float64(tw.Rows()) * simScale)
+		outStats[w.path] = cur
+	}
+	return nil
+}
+
+func storeInReduce(p *physical.Plan, storeID int) bool {
+	anc := p.Ancestors(storeID)
+	for id := range anc {
+		if p.Op(id).Kind == physical.KPackage {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,420 @@
+// Package mrcompile compiles logical plans into workflows of MapReduce
+// jobs over the physical algebra, reproducing the job-boundary structure
+// of Pig's MRCompiler: every blocking operator (GROUP, COGROUP, JOIN,
+// DISTINCT, ORDER) needs a shuffle, a MapReduce job holds at most one
+// shuffle, and jobs communicate through temporary files in the DFS.
+package mrcompile
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/physical"
+)
+
+// Options configure compilation.
+type Options struct {
+	// TempPrefix namespaces the temporary inter-job files of this query,
+	// e.g. "tmp/q42". Required.
+	TempPrefix string
+	// DefaultReducers is the reduce parallelism when a statement has no
+	// PARALLEL clause.
+	DefaultReducers int
+}
+
+// Compile translates a logical plan into a workflow of MapReduce jobs.
+func Compile(lp *logical.Plan, opts Options) (*physical.Workflow, error) {
+	if opts.TempPrefix == "" {
+		return nil, fmt.Errorf("mrcompile: TempPrefix is required")
+	}
+	if opts.DefaultReducers <= 0 {
+		opts.DefaultReducers = 1
+	}
+	c := &compiler{
+		opts:      opts,
+		wf:        &physical.Workflow{FinalOutputs: map[string]string{}},
+		memo:      map[logical.Node]string{},
+		consumers: countConsumers(lp),
+	}
+	for _, st := range lp.Stores {
+		if err := c.compileStore(st); err != nil {
+			return nil, err
+		}
+	}
+	for _, j := range c.wf.Jobs {
+		if err := j.Plan.Validate(); err != nil {
+			return nil, fmt.Errorf("mrcompile: job %s: %w", j.ID, err)
+		}
+	}
+	return c.wf, nil
+}
+
+// frag is an under-construction job fragment: a job builder plus the op
+// currently producing the fragment's output.
+type frag struct {
+	jb  *jobBuilder
+	tip int // op ID of the current output
+}
+
+type jobBuilder struct {
+	id       string
+	plan     *physical.Plan
+	deps     map[string]bool
+	reduce   bool // past the shuffle
+	reducers int
+	sealed   bool
+	merged   bool
+}
+
+type compiler struct {
+	opts      Options
+	wf        *physical.Workflow
+	nextJob   int
+	nextTemp  int
+	memo      map[logical.Node]string // shared node -> materialized temp path
+	consumers map[logical.Node]int
+}
+
+func countConsumers(lp *logical.Plan) map[logical.Node]int {
+	counts := map[logical.Node]int{}
+	seen := map[logical.Node]bool{}
+	var visit func(n logical.Node)
+	visit = func(n logical.Node) {
+		for _, in := range n.Inputs() {
+			counts[in]++
+			if !seen[in] {
+				seen[in] = true
+				visit(in)
+			}
+		}
+	}
+	for _, st := range lp.Stores {
+		visit(st)
+	}
+	return counts
+}
+
+func (c *compiler) newJob() *jobBuilder {
+	c.nextJob++
+	jb := &jobBuilder{
+		id:   fmt.Sprintf("j%d", c.nextJob),
+		plan: physical.NewPlan(),
+		deps: map[string]bool{},
+	}
+	return jb
+}
+
+func (c *compiler) tempPath() string {
+	c.nextTemp++
+	return fmt.Sprintf("%s/t%d", c.opts.TempPrefix, c.nextTemp)
+}
+
+// finalize registers jb in the workflow with the given output path.
+func (c *compiler) finalize(jb *jobBuilder, outputPath string) {
+	jb.sealed = true
+	deps := make([]string, 0, len(jb.deps))
+	for d := range jb.deps {
+		deps = append(deps, d)
+	}
+	// Deterministic order.
+	for i := 1; i < len(deps); i++ {
+		for j := i; j > 0 && deps[j] < deps[j-1]; j-- {
+			deps[j], deps[j-1] = deps[j-1], deps[j]
+		}
+	}
+	reducers := 0
+	if jb.reduce {
+		reducers = jb.reducers
+		if reducers <= 0 {
+			reducers = c.opts.DefaultReducers
+		}
+	}
+	c.wf.Jobs = append(c.wf.Jobs, &physical.Job{
+		ID:          jb.id,
+		Plan:        jb.plan,
+		OutputPath:  outputPath,
+		NumReducers: reducers,
+		DependsOn:   deps,
+	})
+}
+
+// seal materializes the fragment into a temp file, finalizing its job,
+// and returns the temp path.
+func (c *compiler) seal(f frag) string {
+	tmp := c.tempPath()
+	f.jb.plan.Add(&physical.Op{Kind: physical.KStore, Path: tmp, InputIDs: []int{f.tip}})
+	c.finalize(f.jb, tmp)
+	return tmp
+}
+
+// loadFrag starts a fresh map-phase fragment reading path; dep, when
+// non-empty, is the producing job's ID.
+func (c *compiler) loadFrag(path, dep string) frag {
+	jb := c.newJob()
+	ld := jb.plan.Add(&physical.Op{Kind: physical.KLoad, Path: path})
+	if dep != "" {
+		jb.deps[dep] = true
+	}
+	return frag{jb: jb, tip: ld.ID}
+}
+
+// asMapPhase returns a fragment guaranteed to be in map phase: reduce
+// fragments are sealed and reloaded.
+func (c *compiler) asMapPhase(f frag) frag {
+	if !f.jb.reduce {
+		return f
+	}
+	tmp := c.seal(f)
+	return c.loadFrag(tmp, f.jb.id)
+}
+
+// mergeInto absorbs src's plan into dst, returning src's re-mapped tip.
+// Both fragments must be in map phase.
+func mergeInto(dst, src frag) int {
+	if dst.jb == src.jb {
+		return src.tip
+	}
+	idMap := map[int]int{}
+	for _, op := range src.jb.plan.Topo() {
+		cp := *op
+		cp.InputIDs = nil
+		for _, in := range op.InputIDs {
+			cp.InputIDs = append(cp.InputIDs, idMap[in])
+		}
+		added := dst.jb.plan.Add(&cp)
+		idMap[op.ID] = added.ID
+	}
+	for d := range src.jb.deps {
+		dst.jb.deps[d] = true
+	}
+	src.jb.merged = true
+	return idMap[src.tip]
+}
+
+func (c *compiler) compileStore(st *logical.Store) error {
+	f, err := c.compileNode(st.In)
+	if err != nil {
+		return err
+	}
+	f.jb.plan.Add(&physical.Op{Kind: physical.KStore, Path: st.Path, InputIDs: []int{f.tip}})
+	c.finalize(f.jb, st.Path)
+	c.wf.FinalOutputs[st.Path] = st.Path
+	return nil
+}
+
+// compileNode compiles a logical node to a fragment. Nodes with multiple
+// consumers are materialized once into a temp file and each consumer
+// loads that file, which is how Pig splits multi-consumer plans across
+// jobs.
+func (c *compiler) compileNode(n logical.Node) (frag, error) {
+	if tmp, ok := c.memo[n]; ok {
+		return c.loadFrag(tmp, c.producerOf(tmp)), nil
+	}
+	f, err := c.compileFresh(n)
+	if err != nil {
+		return frag{}, err
+	}
+	if _, isLoad := n.(*logical.Load); !isLoad && c.consumers[n] > 1 {
+		tmp := c.seal(f)
+		c.memo[n] = tmp
+		return c.loadFrag(tmp, f.jb.id), nil
+	}
+	return f, nil
+}
+
+// producerOf finds the job that writes path ("" if none: a raw dataset).
+func (c *compiler) producerOf(path string) string {
+	for _, j := range c.wf.Jobs {
+		if j.OutputPath == path {
+			return j.ID
+		}
+	}
+	return ""
+}
+
+func (c *compiler) compileFresh(n logical.Node) (frag, error) {
+	switch x := n.(type) {
+	case *logical.Load:
+		jb := c.newJob()
+		ld := jb.plan.Add(&physical.Op{Kind: physical.KLoad, Path: x.Path})
+		return frag{jb: jb, tip: ld.ID}, nil
+
+	case *logical.ForEach:
+		in, err := c.compileNode(x.In)
+		if err != nil {
+			return frag{}, err
+		}
+		op := in.jb.plan.Add(&physical.Op{
+			Kind: physical.KForEach, Exprs: x.Exprs, InputIDs: []int{in.tip},
+		})
+		return frag{jb: in.jb, tip: op.ID}, nil
+
+	case *logical.Filter:
+		in, err := c.compileNode(x.In)
+		if err != nil {
+			return frag{}, err
+		}
+		op := in.jb.plan.Add(&physical.Op{
+			Kind: physical.KFilter, Cond: x.Cond, InputIDs: []int{in.tip},
+		})
+		return frag{jb: in.jb, tip: op.ID}, nil
+
+	case *logical.Limit:
+		in, err := c.compileNode(x.In)
+		if err != nil {
+			return frag{}, err
+		}
+		op := in.jb.plan.Add(&physical.Op{
+			Kind: physical.KLimit, N: x.N, InputIDs: []int{in.tip},
+		})
+		return frag{jb: in.jb, tip: op.ID}, nil
+
+	case *logical.Union:
+		return c.compileUnion(x)
+
+	case *logical.Group:
+		return c.compileGroup(x)
+
+	case *logical.Join:
+		return c.compileJoin(x)
+
+	case *logical.Distinct:
+		return c.compileDistinct(x)
+
+	case *logical.Order:
+		return c.compileOrder(x)
+	}
+	return frag{}, fmt.Errorf("mrcompile: unsupported logical node %T", n)
+}
+
+func (c *compiler) compileUnion(u *logical.Union) (frag, error) {
+	frags := make([]frag, len(u.Ins))
+	for i, in := range u.Ins {
+		f, err := c.compileNode(in)
+		if err != nil {
+			return frag{}, err
+		}
+		frags[i] = c.asMapPhase(f)
+	}
+	dst := frags[0]
+	tips := []int{dst.tip}
+	for _, f := range frags[1:] {
+		tips = append(tips, mergeInto(dst, f))
+	}
+	op := dst.jb.plan.Add(&physical.Op{Kind: physical.KUnion, InputIDs: tips})
+	return frag{jb: dst.jb, tip: op.ID}, nil
+}
+
+// shuffleInto builds the blocking LR/Shuffle/Package spine over the
+// (map-phase, merged) input tips inside dst.
+func shuffleInto(dst frag, tips []int, keys [][]expr.Expr, groupAll, dropNull bool, mode physical.PackageMode, desc []bool) frag {
+	plan := dst.jb.plan
+	var lrIDs []int
+	for i, tip := range tips {
+		lr := plan.Add(&physical.Op{
+			Kind:     physical.KLocalRearrange,
+			KeyExprs: keys[i],
+			Branch:   i,
+			GroupAll: groupAll,
+			DropNull: dropNull,
+			InputIDs: []int{tip},
+		})
+		lrIDs = append(lrIDs, lr.ID)
+	}
+	sh := plan.Add(&physical.Op{Kind: physical.KShuffle, InputIDs: lrIDs})
+	pkg := plan.Add(&physical.Op{
+		Kind:      physical.KPackage,
+		Mode:      mode,
+		NumInputs: len(tips),
+		Desc:      desc,
+		InputIDs:  []int{sh.ID},
+	})
+	dst.jb.reduce = true
+	return frag{jb: dst.jb, tip: pkg.ID}
+}
+
+// gatherMapInputs compiles the inputs of a blocking operator, forces
+// them into map phase, and merges them into one job.
+func (c *compiler) gatherMapInputs(ins []logical.Node) (frag, []int, error) {
+	frags := make([]frag, len(ins))
+	for i, in := range ins {
+		f, err := c.compileNode(in)
+		if err != nil {
+			return frag{}, nil, err
+		}
+		frags[i] = c.asMapPhase(f)
+	}
+	// A blocking operator cannot live in a job that already shuffles
+	// (possible when a shared input re-enters): ensured by asMapPhase.
+	dst := frags[0]
+	tips := []int{dst.tip}
+	for _, f := range frags[1:] {
+		tips = append(tips, mergeInto(dst, f))
+	}
+	return dst, tips, nil
+}
+
+func (c *compiler) compileGroup(g *logical.Group) (frag, error) {
+	dst, tips, err := c.gatherMapInputs(g.Ins)
+	if err != nil {
+		return frag{}, err
+	}
+	out := shuffleInto(dst, tips, g.Keys, g.All, false, physical.PkgGroup, nil)
+	if g.Parallel > 0 {
+		out.jb.reducers = g.Parallel
+	}
+	if g.All {
+		out.jb.reducers = 1
+	}
+	return out, nil
+}
+
+func (c *compiler) compileJoin(j *logical.Join) (frag, error) {
+	dst, tips, err := c.gatherMapInputs(j.Ins)
+	if err != nil {
+		return frag{}, err
+	}
+	out := shuffleInto(dst, tips, j.Keys, false, true, physical.PkgGroup, nil)
+	fl := out.jb.plan.Add(&physical.Op{
+		Kind:      physical.KJoinFlatten,
+		NumInputs: len(tips),
+		InputIDs:  []int{out.tip},
+	})
+	if j.Parallel > 0 {
+		out.jb.reducers = j.Parallel
+	}
+	return frag{jb: out.jb, tip: fl.ID}, nil
+}
+
+func (c *compiler) compileDistinct(d *logical.Distinct) (frag, error) {
+	arity := d.In.Schema().Len()
+	if arity == 0 {
+		return frag{}, fmt.Errorf("mrcompile: DISTINCT requires a known schema on %q", d.In.Alias())
+	}
+	in, err := c.compileNode(d.In)
+	if err != nil {
+		return frag{}, err
+	}
+	in = c.asMapPhase(in)
+	keys := make([]expr.Expr, arity)
+	for i := range keys {
+		keys[i] = expr.NewCol(i)
+	}
+	out := shuffleInto(in, []int{in.tip}, [][]expr.Expr{keys}, false, false, physical.PkgDistinct, nil)
+	if d.Parallel > 0 {
+		out.jb.reducers = d.Parallel
+	}
+	return out, nil
+}
+
+func (c *compiler) compileOrder(o *logical.Order) (frag, error) {
+	in, err := c.compileNode(o.In)
+	if err != nil {
+		return frag{}, err
+	}
+	in = c.asMapPhase(in)
+	out := shuffleInto(in, []int{in.tip}, [][]expr.Expr{o.Keys}, false, false, physical.PkgFlat, o.Desc)
+	out.jb.reducers = 1 // total order needs a single reducer
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package physical
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Job is one MapReduce job: a physical plan whose map side runs from the
+// Load roots up to LocalRearrange (or straight to Store for map-only
+// jobs) and whose reduce side runs from Package to Store.
+type Job struct {
+	ID   string
+	Plan *Plan
+
+	// OutputPath is the primary Store destination (the one downstream
+	// jobs read). Side stores injected by ReStore write elsewhere.
+	OutputPath string
+
+	// NumReducers is the reduce parallelism (0 for map-only jobs).
+	NumReducers int
+
+	// DependsOn lists the IDs of jobs whose outputs this job loads.
+	DependsOn []string
+}
+
+// InputPaths returns the dataset paths this job loads, sorted.
+func (j *Job) InputPaths() []string {
+	seen := map[string]bool{}
+	for _, op := range j.Plan.Ops() {
+		if op.Kind == KLoad {
+			seen[op.Path] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsMapOnly reports whether the job has no shuffle stage.
+func (j *Job) IsMapOnly() bool {
+	for _, op := range j.Plan.Ops() {
+		if op.Kind == KShuffle {
+			return false
+		}
+	}
+	return true
+}
+
+// MainStore returns the Store op writing OutputPath, or nil.
+func (j *Job) MainStore() *Op {
+	for _, op := range j.Plan.Ops() {
+		if op.Kind == KStore && op.Path == j.OutputPath {
+			return op
+		}
+	}
+	return nil
+}
+
+// String renders the job for debugging.
+func (j *Job) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "job %s (out=%s, reducers=%d, deps=%v)\n", j.ID, j.OutputPath, j.NumReducers, j.DependsOn)
+	b.WriteString(j.Plan.String())
+	return b.String()
+}
+
+// Workflow is a DAG of MapReduce jobs compiled from one query, executed
+// in dependency order.
+type Workflow struct {
+	Jobs []*Job
+
+	// FinalOutputs maps user STORE paths to the path actually holding
+	// the data. Normally the identity; ReStore's whole-job reuse may
+	// redirect an output to a repository location instead of recomputing
+	// it.
+	FinalOutputs map[string]string
+}
+
+// Job returns the job with the given ID, or nil.
+func (w *Workflow) Job(id string) *Job {
+	for _, j := range w.Jobs {
+		if j.ID == id {
+			return j
+		}
+	}
+	return nil
+}
+
+// TopoJobs returns jobs in dependency order.
+func (w *Workflow) TopoJobs() ([]*Job, error) {
+	byID := map[string]*Job{}
+	for _, j := range w.Jobs {
+		byID[j.ID] = j
+	}
+	state := map[string]int{}
+	var out []*Job
+	var visit func(j *Job) error
+	visit = func(j *Job) error {
+		switch state[j.ID] {
+		case 1:
+			return fmt.Errorf("physical: workflow cycle through job %s", j.ID)
+		case 2:
+			return nil
+		}
+		state[j.ID] = 1
+		for _, dep := range j.DependsOn {
+			d := byID[dep]
+			if d == nil {
+				return fmt.Errorf("physical: job %s depends on missing job %s", j.ID, dep)
+			}
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[j.ID] = 2
+		out = append(out, j)
+		return nil
+	}
+	for _, j := range w.Jobs {
+		if err := visit(j); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RemoveJob deletes the job with the given ID from the workflow.
+func (w *Workflow) RemoveJob(id string) {
+	out := w.Jobs[:0]
+	for _, j := range w.Jobs {
+		if j.ID != id {
+			out = append(out, j)
+		}
+	}
+	w.Jobs = out
+	for _, j := range w.Jobs {
+		deps := j.DependsOn[:0]
+		for _, d := range j.DependsOn {
+			if d != id {
+				deps = append(deps, d)
+			}
+		}
+		j.DependsOn = deps
+	}
+}
+
+// RewriteLoadPaths redirects every Load of oldPath in every job to
+// newPath, used when whole-job reuse replaces a producer job.
+func (w *Workflow) RewriteLoadPaths(oldPath, newPath string) {
+	for _, j := range w.Jobs {
+		for _, op := range j.Plan.Ops() {
+			if op.Kind == KLoad && op.Path == oldPath {
+				op.Path = newPath
+			}
+		}
+	}
+}
+
+// String renders the workflow for debugging.
+func (w *Workflow) String() string {
+	var b strings.Builder
+	for _, j := range w.Jobs {
+		b.WriteString(j.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,199 @@
+package piglatin
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Script is a parsed Pig Latin program: a list of statements.
+type Script struct {
+	Stmts []Stmt
+}
+
+// Stmt is a top-level statement: an alias assignment or a STORE.
+type Stmt interface{ stmt() }
+
+// Assign binds an operator expression to an alias: "B = foreach A …".
+type Assign struct {
+	Alias string
+	Op    Op
+}
+
+// Store writes an alias to the distributed file system.
+type Store struct {
+	Alias string
+	Path  string
+}
+
+func (*Assign) stmt() {}
+func (*Store) stmt()  {}
+
+// Op is a relational operator in an assignment.
+type Op interface{ op() }
+
+// Load reads a dataset. SchemaSrc is the raw text of the AS clause.
+type Load struct {
+	Path      string
+	SchemaSrc string
+}
+
+// GenItem is one entry of a GENERATE list, with an optional AS alias.
+type GenItem struct {
+	E  Expr
+	As string
+}
+
+// ForEach projects/transforms each tuple of the input.
+type ForEach struct {
+	Input string
+	Items []GenItem
+}
+
+// Filter keeps tuples satisfying Cond.
+type Filter struct {
+	Input string
+	Cond  Expr
+}
+
+// Group groups one input (GROUP) or several (COGROUP) by key
+// expressions. All is the "GROUP x ALL" form.
+type Group struct {
+	Inputs   []string
+	Keys     [][]Expr
+	All      bool
+	CoGroup  bool
+	Parallel int
+}
+
+// Join equi-joins inputs on key expressions.
+type Join struct {
+	Inputs   []string
+	Keys     [][]Expr
+	Parallel int
+}
+
+// Distinct removes duplicate tuples.
+type Distinct struct {
+	Input    string
+	Parallel int
+}
+
+// Union concatenates inputs.
+type Union struct {
+	Inputs []string
+}
+
+// OrderKey is one sort key with direction.
+type OrderKey struct {
+	E    Expr
+	Desc bool
+}
+
+// Order sorts the input.
+type Order struct {
+	Input string
+	Keys  []OrderKey
+}
+
+// Limit keeps the first N tuples.
+type Limit struct {
+	Input string
+	N     int64
+}
+
+func (*Load) op()     {}
+func (*ForEach) op()  {}
+func (*Filter) op()   {}
+func (*Group) op()    {}
+func (*Join) op()     {}
+func (*Distinct) op() {}
+func (*Union) op()    {}
+func (*Order) op()    {}
+func (*Limit) op()    {}
+
+// Expr is a name-based (unresolved) expression; the logical builder
+// resolves names against schemas to produce positional expr.Expr values.
+type Expr interface {
+	fmt.Stringer
+	expr()
+}
+
+// Ident references a column (or relation) by name.
+type Ident struct{ Name string }
+
+// Dollar references a column by position.
+type Dollar struct{ Idx int }
+
+// Dot projects a field out of a bag or tuple column: base.field or
+// base.$n (FieldIdx >= 0 when positional).
+type Dot struct {
+	Base     Expr
+	Field    string
+	FieldIdx int // -1 when Field is a name
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ V float64 }
+
+// StrLit is a string literal.
+type StrLit struct{ V string }
+
+// Star is the "*" projection.
+type Star struct{}
+
+// Neg is unary minus.
+type Neg struct{ E Expr }
+
+// NotExpr is boolean negation.
+type NotExpr struct{ E Expr }
+
+// BinExpr is a binary operation; Op is one of
+// + - * / % == != < <= > >= and or.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// Call is a function call such as SUM(C.est_revenue).
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (Ident) expr()    {}
+func (Dollar) expr()   {}
+func (Dot) expr()      {}
+func (IntLit) expr()   {}
+func (FloatLit) expr() {}
+func (StrLit) expr()   {}
+func (Star) expr()     {}
+func (Neg) expr()      {}
+func (NotExpr) expr()  {}
+func (BinExpr) expr()  {}
+func (Call) expr()     {}
+
+func (e Ident) String() string  { return e.Name }
+func (e Dollar) String() string { return fmt.Sprintf("$%d", e.Idx) }
+func (e Dot) String() string {
+	if e.FieldIdx >= 0 {
+		return fmt.Sprintf("%s.$%d", e.Base, e.FieldIdx)
+	}
+	return fmt.Sprintf("%s.%s", e.Base, e.Field)
+}
+func (e IntLit) String() string   { return fmt.Sprintf("%d", e.V) }
+func (e FloatLit) String() string { return fmt.Sprintf("%g", e.V) }
+func (e StrLit) String() string   { return fmt.Sprintf("'%s'", e.V) }
+func (Star) String() string       { return "*" }
+func (e Neg) String() string      { return fmt.Sprintf("-%s", e.E) }
+func (e NotExpr) String() string  { return fmt.Sprintf("not %s", e.E) }
+func (e BinExpr) String() string  { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
+func (e Call) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+}

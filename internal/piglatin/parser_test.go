@@ -1,0 +1,257 @@
+package piglatin
+
+import (
+	"strings"
+	"testing"
+)
+
+const q1Src = `
+A = load 'page_views' as (user, timestamp, est_revenue, page_info, page_links);
+B = foreach A generate user, est_revenue;
+alpha = load 'users' using (name, phone, address, city);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+store C into 'L2_out';
+`
+
+func TestParseQ1(t *testing.T) {
+	s, err := Parse(q1Src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(s.Stmts) != 6 {
+		t.Fatalf("got %d statements, want 6", len(s.Stmts))
+	}
+	a0 := s.Stmts[0].(*Assign)
+	if a0.Alias != "A" {
+		t.Errorf("alias = %q", a0.Alias)
+	}
+	ld := a0.Op.(*Load)
+	if ld.Path != "page_views" {
+		t.Errorf("load path = %q", ld.Path)
+	}
+	if !strings.Contains(ld.SchemaSrc, "est_revenue") {
+		t.Errorf("schema = %q", ld.SchemaSrc)
+	}
+	// "using (schema)" should be treated as AS.
+	a2 := s.Stmts[2].(*Assign)
+	if a2.Op.(*Load).SchemaSrc == "" {
+		t.Errorf("using (schema) clause not captured")
+	}
+	j := s.Stmts[4].(*Assign).Op.(*Join)
+	if len(j.Inputs) != 2 || j.Inputs[0] != "beta" || j.Inputs[1] != "B" {
+		t.Errorf("join inputs = %v", j.Inputs)
+	}
+	st := s.Stmts[5].(*Store)
+	if st.Alias != "C" || st.Path != "L2_out" {
+		t.Errorf("store = %+v", st)
+	}
+}
+
+func TestParseQ2GroupAndAgg(t *testing.T) {
+	src := `
+C = load 'joined' as (name, user, est_revenue);
+D = group C by $0;
+E = foreach D generate group, SUM(C.est_revenue);
+store E into 'L3_out';
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	g := s.Stmts[1].(*Assign).Op.(*Group)
+	if g.CoGroup || g.All || len(g.Inputs) != 1 {
+		t.Errorf("group = %+v", g)
+	}
+	if _, ok := g.Keys[0][0].(Dollar); !ok {
+		t.Errorf("group key = %T", g.Keys[0][0])
+	}
+	fe := s.Stmts[2].(*Assign).Op.(*ForEach)
+	if len(fe.Items) != 2 {
+		t.Fatalf("generate items = %d", len(fe.Items))
+	}
+	if id, ok := fe.Items[0].E.(Ident); !ok || id.Name != "group" {
+		t.Errorf("first item = %v", fe.Items[0].E)
+	}
+	call, ok := fe.Items[1].E.(Call)
+	if !ok || call.Name != "SUM" {
+		t.Fatalf("second item = %v", fe.Items[1].E)
+	}
+	dot, ok := call.Args[0].(Dot)
+	if !ok || dot.Field != "est_revenue" {
+		t.Errorf("SUM arg = %v", call.Args[0])
+	}
+}
+
+func TestParseFilterExpression(t *testing.T) {
+	src := `B = filter A by timespent > 2 and query_term == 'news' or not (user < 'm');`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	f := s.Stmts[0].(*Assign).Op.(*Filter)
+	// Top-level must be "or" (lowest precedence).
+	be, ok := f.Cond.(BinExpr)
+	if !ok || be.Op != "or" {
+		t.Fatalf("cond = %v", f.Cond)
+	}
+	l, ok := be.L.(BinExpr)
+	if !ok || l.Op != "and" {
+		t.Errorf("left = %v", be.L)
+	}
+	if _, ok := be.R.(NotExpr); !ok {
+		t.Errorf("right = %v", be.R)
+	}
+}
+
+func TestParseSingleEqualsTolerated(t *testing.T) {
+	src := `B = filter A by field7 = 3;`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	be := s.Stmts[0].(*Assign).Op.(*Filter).Cond.(BinExpr)
+	if be.Op != "==" {
+		t.Errorf("op = %q, want ==", be.Op)
+	}
+}
+
+func TestParseCoGroupUnionDistinctOrderLimit(t *testing.T) {
+	src := `
+A = load 'x' as (a, b);
+B = load 'y' as (a, c);
+C = cogroup A by a, B by a parallel 4;
+D = distinct A parallel 2;
+E = union A, B;
+F = order A by b desc, a;
+G = limit F 10;
+H = group A all;
+store G into 'out';
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cg := s.Stmts[2].(*Assign).Op.(*Group)
+	if !cg.CoGroup || len(cg.Inputs) != 2 || cg.Parallel != 4 {
+		t.Errorf("cogroup = %+v", cg)
+	}
+	d := s.Stmts[3].(*Assign).Op.(*Distinct)
+	if d.Input != "A" || d.Parallel != 2 {
+		t.Errorf("distinct = %+v", d)
+	}
+	u := s.Stmts[4].(*Assign).Op.(*Union)
+	if len(u.Inputs) != 2 {
+		t.Errorf("union = %+v", u)
+	}
+	o := s.Stmts[5].(*Assign).Op.(*Order)
+	if len(o.Keys) != 2 || !o.Keys[0].Desc || o.Keys[1].Desc {
+		t.Errorf("order = %+v", o)
+	}
+	l := s.Stmts[6].(*Assign).Op.(*Limit)
+	if l.N != 10 {
+		t.Errorf("limit = %+v", l)
+	}
+	g := s.Stmts[7].(*Assign).Op.(*Group)
+	if !g.All {
+		t.Errorf("group all = %+v", g)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	src := `B = foreach A generate a + b * 2 - c / 4;`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	e := s.Stmts[0].(*Assign).Op.(*ForEach).Items[0].E
+	// ((a + (b*2)) - (c/4))
+	want := "((a + (b * 2)) - (c / 4))"
+	if e.String() != want {
+		t.Errorf("parsed %s, want %s", e, want)
+	}
+}
+
+func TestParseStarAndDollarDots(t *testing.T) {
+	src := `B = foreach A generate *, $0, C.$2, C.user;`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	items := s.Stmts[0].(*Assign).Op.(*ForEach).Items
+	if _, ok := items[0].E.(Star); !ok {
+		t.Errorf("item0 = %v", items[0].E)
+	}
+	if d, ok := items[1].E.(Dollar); !ok || d.Idx != 0 {
+		t.Errorf("item1 = %v", items[1].E)
+	}
+	if d, ok := items[2].E.(Dot); !ok || d.FieldIdx != 2 {
+		t.Errorf("item2 = %v", items[2].E)
+	}
+	if d, ok := items[3].E.(Dot); !ok || d.Field != "user" {
+		t.Errorf("item3 = %v", items[3].E)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+-- leading comment
+A = load 'x' as (a); /* block
+comment */ B = filter A by a > 1; -- trailing
+store B into 'o';
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(s.Stmts) != 3 {
+		t.Errorf("got %d statements", len(s.Stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,                   // empty
+		`A = ;`,              // missing op
+		`A = load;`,          // missing path
+		`A = bogus B;`,       // unknown op
+		`A = load 'x' as (a`, // unterminated schema
+		`store A to 'x';`,    // bad keyword
+		`A = filter B by ;`,  // empty condition
+		`A = join B by x;`,   // single-input join
+		`A = union B;`,       // single-input union
+		`A = load 'x' as (a); B = foreach A generate`, // missing ;
+		`A = load 'unterminated`,                      // unterminated string
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("A = load 'x' as (a);\nB = bogus A;\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2", pe.Line)
+	}
+}
+
+func TestQualifiedNames(t *testing.T) {
+	src := `B = foreach A generate beta::name, a::user;`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	items := s.Stmts[0].(*Assign).Op.(*ForEach).Items
+	if id, ok := items[0].E.(Ident); !ok || id.Name != "beta::name" {
+		t.Errorf("item0 = %v", items[0].E)
+	}
+}

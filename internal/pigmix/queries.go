@@ -1,0 +1,191 @@
+package pigmix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Query is one benchmark query: its Pig Latin source and the STORE path
+// holding its result.
+type Query struct {
+	Name   string
+	Script string
+	Output string
+}
+
+// loadPV is the shared LOAD+PROJECT prologue most queries start with —
+// exactly the repeated work ReStore is designed to reuse.
+func loadPV(fields string) string {
+	return fmt.Sprintf(
+		"A = load '%s' as (%s);\nB = foreach A generate %s;\n",
+		PathPageViews, PageViewsSchema, fields)
+}
+
+// queries defines the evaluation workload: PigMix-shaped L2–L8 and L11
+// (L1, L9, L10 test features irrelevant to result reuse and are
+// excluded, as in the paper), plus the L3 aggregation variants and the
+// L11 union variants used for the whole-job reuse experiment.
+var queries = map[string]Query{
+	// L2: project page_views, join with power_users.
+	"L2": {
+		Name: "L2",
+		Script: loadPV("user, estimated_revenue") + fmt.Sprintf(`
+alpha = load '%s' as (name, phone, address, city);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+store C into 'out/L2';
+`, PathPowerUsers),
+		Output: "out/L2",
+	},
+
+	// L3: join with users, then group by user summing revenue (the
+	// paper's Q2). Two MapReduce jobs.
+	"L3":  l3Variant("L3", "SUM"),
+	"L3a": l3Variant("L3a", "AVG"),
+	"L3b": l3Variant("L3b", "MIN"),
+	"L3c": l3Variant("L3c", "MAX"),
+
+	// L4: distinct actions per user.
+	"L4": {
+		Name: "L4",
+		Script: loadPV("user, action") + `
+D = distinct B;
+G = group D by user;
+S = foreach G generate group, COUNT(D);
+store S into 'out/L4';
+`,
+		Output: "out/L4",
+	},
+
+	// L5: anti-join — registered users who never viewed a page.
+	"L5": {
+		Name: "L5",
+		Script: loadPV("user") + fmt.Sprintf(`
+alpha = load '%s' as (name, phone, address, city);
+beta = foreach alpha generate name;
+C = cogroup beta by name, B by user;
+D = filter C by ISEMPTY(B);
+E = foreach D generate group;
+store E into 'out/L5';
+`, PathUsers),
+		Output: "out/L5",
+	},
+
+	// L6: wide grouping on (user, query_term) — the expensive Group
+	// whose stored output makes the Aggressive heuristic costly
+	// (the Figure 14 outlier).
+	"L6": {
+		Name: "L6",
+		Script: loadPV("user, query_term, timespent") + `
+G = group B by (user, query_term) parallel 4;
+S = foreach G generate group, SUM(B.timespent);
+store S into 'out/L6';
+`,
+		Output: "out/L6",
+	},
+
+	// L7: per-user aggregate band (max/min of revenue and time).
+	"L7": {
+		Name: "L7",
+		Script: loadPV("user, timespent, estimated_revenue") + `
+G = group B by user;
+S = foreach G generate group, MAX(B.estimated_revenue), MIN(B.timespent);
+store S into 'out/L7';
+`,
+		Output: "out/L7",
+	},
+
+	// L8: global aggregate (GROUP ALL): tiny output.
+	"L8": {
+		Name: "L8",
+		Script: loadPV("user, timespent, estimated_revenue") + `
+G = group B all;
+S = foreach G generate SUM(B.timespent), AVG(B.estimated_revenue);
+store S into 'out/L8';
+`,
+		Output: "out/L8",
+	},
+
+	// L11: distinct page_views users unioned with another source's
+	// distinct users — three jobs, the third depending on the first
+	// two, per the paper's description.
+	"L11":  l11Variant("L11", PathWiderow, "user, c1, c2, c3, c4, c5, c6, c7, c8, c9", "user"),
+	"L11a": l11Variant("L11a", PathUsers, "name, phone, address, city", "name"),
+	"L11b": l11Variant("L11b", PathPowerUsers, "name, phone, address, city", "name"),
+	"L11c": l11Variant("L11c", PathWiderowB, "user, c1, c2, c3, c4, c5, c6, c7, c8, c9", "user"),
+	"L11d": {
+		Name: "L11d",
+		// A deeper variant: union the page_views users with power users
+		// filtered by name prefix.
+		Script: loadPV("user") + fmt.Sprintf(`
+C = distinct B;
+alpha = load '%s' as (name, phone, address, city);
+beta = foreach alpha generate name;
+gamma = distinct beta;
+D = union C, gamma;
+E = distinct D;
+F = filter E by user >= 'u1000000';
+store F into 'out/L11d';
+`, PathWiderow),
+		Output: "out/L11d",
+	},
+}
+
+func l3Variant(name, agg string) Query {
+	return Query{
+		Name: name,
+		Script: loadPV("user, estimated_revenue") + fmt.Sprintf(`
+alpha = load '%s' as (name, phone, address, city);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+D = group C by $0;
+E = foreach D generate group, %s(C.estimated_revenue);
+store E into 'out/%s';
+`, PathUsers, agg, name),
+		Output: "out/" + name,
+	}
+}
+
+func l11Variant(name, otherPath, otherSchema, otherField string) Query {
+	return Query{
+		Name: name,
+		Script: loadPV("user") + fmt.Sprintf(`
+C = distinct B;
+alpha = load '%s' as (%s);
+beta = foreach alpha generate %s;
+gamma = distinct beta;
+D = union C, gamma;
+E = distinct D;
+store E into 'out/%s';
+`, otherPath, otherSchema, otherField, name),
+		Output: "out/" + name,
+	}
+}
+
+// Get returns a query by name.
+func Get(name string) (Query, error) {
+	q, ok := queries[name]
+	if !ok {
+		return Query{}, fmt.Errorf("pigmix: unknown query %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return q, nil
+}
+
+// Names lists all query names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(queries))
+	for n := range queries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CoreSuite is the L2–L8, L11 subset used by the sub-job experiments
+// (Figures 10–14, Table 1).
+var CoreSuite = []string{"L2", "L3", "L4", "L5", "L6", "L7", "L8", "L11"}
+
+// VariantSuite is the whole-job reuse workload of Figures 9 and 15:
+// L3 and L11 with their variants.
+var VariantSuite = []string{"L3", "L3a", "L3b", "L3c", "L11", "L11a", "L11b", "L11c", "L11d"}

@@ -1,0 +1,444 @@
+package tuple
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// The text codec stores one tuple per line with tab-separated fields,
+// matching PigStorage('\t'). Nested tuples/bags render with (…) and {…}
+// delimiters and are parsed back on load. Tabs and newlines inside
+// strings are escaped.
+
+// EncodeText renders t as one storage line (no trailing newline).
+func EncodeText(t Tuple) string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = escapeField(encodeTextValue(v))
+	}
+	return strings.Join(parts, "\t")
+}
+
+func encodeTextValue(v Value) string { return ToString(v) }
+
+func escapeField(s string) string {
+	if !strings.ContainsAny(s, "\t\n\\") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\t':
+			b.WriteString(`\t`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func unescapeField(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				b.WriteByte(s[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// DecodeText parses one storage line into a tuple. Fields that look like
+// integers or floats become numeric values; "(..)" and "{..}" fields are
+// parsed as nested tuples/bags; empty fields are null.
+func DecodeText(line string) Tuple {
+	if line == "" {
+		return Tuple{}
+	}
+	fields := strings.Split(line, "\t")
+	t := make(Tuple, len(fields))
+	for i, f := range fields {
+		t[i] = decodeTextField(unescapeField(f))
+	}
+	return t
+}
+
+func decodeTextField(s string) Value {
+	if s == "" {
+		return nil
+	}
+	if s[0] == '(' && s[len(s)-1] == ')' {
+		if v, ok := parseNested(s); ok {
+			return v
+		}
+	}
+	if s[0] == '{' && s[len(s)-1] == '}' {
+		if v, ok := parseNested(s); ok {
+			return v
+		}
+	}
+	return parseScalar(s)
+}
+
+func parseScalar(s string) Value {
+	// Integers first, then floats; everything else stays a string.
+	if n, err := parseInt(s); err == nil {
+		return n
+	}
+	if f, err := parseFloat(s); err == nil {
+		return f
+	}
+	return s
+}
+
+func parseInt(s string) (int64, error) {
+	if s == "" {
+		return 0, errNotNumeric
+	}
+	neg := false
+	i := 0
+	if s[0] == '+' || s[0] == '-' {
+		neg = s[0] == '-'
+		i++
+		if i == len(s) {
+			return 0, errNotNumeric
+		}
+	}
+	var n int64
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, errNotNumeric
+		}
+		d := int64(c - '0')
+		if n > (math.MaxInt64-d)/10 {
+			return 0, errNotNumeric // overflow: treat as non-integer
+		}
+		n = n*10 + d
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+var errNotNumeric = fmt.Errorf("tuple: not numeric")
+
+func parseFloat(s string) (float64, error) {
+	// Only accept strings that start with a digit, sign, or dot to avoid
+	// treating e.g. "NaNCy" as numeric.
+	c := s[0]
+	if c != '+' && c != '-' && c != '.' && (c < '0' || c > '9') {
+		return 0, errNotNumeric
+	}
+	var f float64
+	if _, err := fmt.Sscanf(s, "%g", &f); err != nil {
+		return 0, errNotNumeric
+	}
+	// Reject trailing junk.
+	if ToString(f) != s && !floatRoundTrips(s) {
+		return 0, errNotNumeric
+	}
+	return f, nil
+}
+
+func floatRoundTrips(s string) bool {
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case r == '.' || r == '+' || r == '-' || r == 'e' || r == 'E':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseNested parses the (…)/{…} nested rendering produced by ToString.
+func parseNested(s string) (Value, bool) {
+	v, rest, ok := parseNestedAt(s)
+	if !ok || rest != "" {
+		return nil, false
+	}
+	return v, true
+}
+
+func parseNestedAt(s string) (Value, string, bool) {
+	if s == "" {
+		return nil, s, false
+	}
+	switch s[0] {
+	case '(':
+		t, rest, ok := parseSeq(s[1:], ')')
+		if !ok {
+			return nil, s, false
+		}
+		return Tuple(t), rest, true
+	case '{':
+		items, rest, ok := parseSeq(s[1:], '}')
+		if !ok {
+			return nil, s, false
+		}
+		b := &Bag{}
+		for _, it := range items {
+			t, isT := it.(Tuple)
+			if !isT {
+				return nil, s, false
+			}
+			b.Add(t)
+		}
+		return b, rest, true
+	}
+	return nil, s, false
+}
+
+// parseSeq parses comma-separated items up to the closing delimiter.
+func parseSeq(s string, close byte) ([]Value, string, bool) {
+	var items []Value
+	if s != "" && s[0] == close {
+		return items, s[1:], true
+	}
+	for {
+		v, rest, ok := parseItem(s, close)
+		if !ok {
+			return nil, s, false
+		}
+		items = append(items, v)
+		s = rest
+		if s == "" {
+			return nil, s, false
+		}
+		switch s[0] {
+		case ',':
+			s = s[1:]
+		case close:
+			return items, s[1:], true
+		default:
+			return nil, s, false
+		}
+	}
+}
+
+func parseItem(s string, close byte) (Value, string, bool) {
+	if s == "" {
+		return nil, s, false
+	}
+	if s[0] == '(' || s[0] == '{' {
+		return parseNestedAt(s)
+	}
+	// Scalar: read until , or the closing delimiter at depth 0.
+	i := 0
+	for i < len(s) && s[i] != ',' && s[i] != close {
+		i++
+	}
+	raw := s[:i]
+	if raw == "" {
+		return nil, s[i:], true
+	}
+	return parseScalar(raw), s[i:], true
+}
+
+// Binary codec: length-prefixed records used on the shuffle path, where
+// exact round-tripping of types matters (text parsing would turn the
+// string "42" into an int).
+
+const (
+	binNull   = 0
+	binInt    = 1
+	binFloat  = 2
+	binString = 3
+	binTuple  = 4
+	binBag    = 5
+)
+
+// AppendBinary appends the binary encoding of t to dst and returns the
+// extended slice.
+func AppendBinary(dst []byte, t Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = appendBinaryValue(dst, v)
+	}
+	return dst
+}
+
+func appendBinaryValue(dst []byte, v Value) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, binNull)
+	case int64:
+		dst = append(dst, binInt)
+		return binary.AppendVarint(dst, x)
+	case float64:
+		dst = append(dst, binFloat)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+	case string:
+		dst = append(dst, binString)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		return append(dst, x...)
+	case Tuple:
+		dst = append(dst, binTuple)
+		return AppendBinary(dst, x)
+	case *Bag:
+		dst = append(dst, binBag)
+		dst = binary.AppendUvarint(dst, uint64(len(x.Tuples)))
+		for _, t := range x.Tuples {
+			dst = AppendBinary(dst, t)
+		}
+		return dst
+	}
+	panic(fmt.Sprintf("tuple: unsupported value type %T", v))
+}
+
+// DecodeBinary decodes one tuple from b, returning the tuple and the
+// number of bytes consumed.
+func DecodeBinary(b []byte) (Tuple, int, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	off := sz
+	t := make(Tuple, n)
+	for i := range t {
+		v, used, err := decodeBinaryValue(b[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		t[i] = v
+		off += used
+	}
+	return t, off, nil
+}
+
+func decodeBinaryValue(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	switch b[0] {
+	case binNull:
+		return nil, 1, nil
+	case binInt:
+		v, sz := binary.Varint(b[1:])
+		if sz <= 0 {
+			return nil, 0, io.ErrUnexpectedEOF
+		}
+		return v, 1 + sz, nil
+	case binFloat:
+		if len(b) < 9 {
+			return nil, 0, io.ErrUnexpectedEOF
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[1:9])), 9, nil
+	case binString:
+		n, sz := binary.Uvarint(b[1:])
+		if sz <= 0 || len(b) < 1+sz+int(n) {
+			return nil, 0, io.ErrUnexpectedEOF
+		}
+		return string(b[1+sz : 1+sz+int(n)]), 1 + sz + int(n), nil
+	case binTuple:
+		t, used, err := DecodeBinary(b[1:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return t, 1 + used, nil
+	case binBag:
+		n, sz := binary.Uvarint(b[1:])
+		if sz <= 0 {
+			return nil, 0, io.ErrUnexpectedEOF
+		}
+		off := 1 + sz
+		bag := &Bag{Tuples: make([]Tuple, n)}
+		for i := range bag.Tuples {
+			t, used, err := DecodeBinary(b[off:])
+			if err != nil {
+				return nil, 0, err
+			}
+			bag.Tuples[i] = t
+			off += used
+		}
+		return bag, off, nil
+	}
+	return nil, 0, fmt.Errorf("tuple: bad binary tag %d", b[0])
+}
+
+// Writer streams tuples in text form to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	bytes int64
+	rows  int64
+}
+
+// NewWriter returns a text-format tuple writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write appends one tuple as a line.
+func (tw *Writer) Write(t Tuple) error {
+	line := EncodeText(t)
+	if _, err := tw.w.WriteString(line); err != nil {
+		return err
+	}
+	if err := tw.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	tw.bytes += int64(len(line)) + 1
+	tw.rows++
+	return nil
+}
+
+// Flush flushes buffered output.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Bytes returns the number of bytes written so far.
+func (tw *Writer) Bytes() int64 { return tw.bytes }
+
+// Rows returns the number of tuples written so far.
+func (tw *Writer) Rows() int64 { return tw.rows }
+
+// Reader streams tuples in text form from an io.Reader.
+type Reader struct {
+	s     *bufio.Scanner
+	bytes int64
+}
+
+// NewReader returns a text-format tuple reader over r.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	return &Reader{s: s}
+}
+
+// Read returns the next tuple, or io.EOF when the input is exhausted.
+func (tr *Reader) Read() (Tuple, error) {
+	if !tr.s.Scan() {
+		if err := tr.s.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	line := tr.s.Text()
+	tr.bytes += int64(len(line)) + 1
+	return DecodeText(line), nil
+}
+
+// Bytes returns the number of bytes consumed so far.
+func (tr *Reader) Bytes() int64 { return tr.bytes }

@@ -1,0 +1,167 @@
+package tuple
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// typeRank orders values of different dynamic types so that comparison is
+// a total order: null < numbers < strings < tuples < bags.
+func typeRank(v Value) int {
+	switch v.(type) {
+	case nil:
+		return 0
+	case int64, float64:
+		return 1
+	case string:
+		return 2
+	case Tuple:
+		return 3
+	case *Bag:
+		return 4
+	}
+	return 5
+}
+
+// Compare returns -1, 0, or +1 ordering a relative to b. Numeric values
+// compare numerically across int/float; otherwise values compare within
+// their type, and across types by typeRank. The result is a total order,
+// which the shuffle sort and group-by rely on.
+func Compare(a, b Value) int {
+	ra, rb := typeRank(a), typeRank(b)
+	if ra != rb {
+		return sign(ra - rb)
+	}
+	switch x := a.(type) {
+	case nil:
+		return 0
+	case int64:
+		return compareNumeric(float64(x), b)
+	case float64:
+		return compareNumeric(x, b)
+	case string:
+		y := b.(string)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case Tuple:
+		return CompareTuples(x, b.(Tuple))
+	case *Bag:
+		return compareBags(x, b.(*Bag))
+	}
+	return 0
+}
+
+func compareNumeric(x float64, b Value) int {
+	var y float64
+	switch v := b.(type) {
+	case int64:
+		y = float64(v)
+	case float64:
+		y = v
+	}
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	}
+	return 0
+}
+
+// CompareTuples orders tuples lexicographically field by field; a shorter
+// tuple that is a prefix of a longer one sorts first.
+func CompareTuples(a, b Tuple) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return sign(len(a) - len(b))
+}
+
+func compareBags(a, b *Bag) int {
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	for i := 0; i < n; i++ {
+		if c := CompareTuples(a.Tuples[i], b.Tuples[i]); c != 0 {
+			return c
+		}
+	}
+	return sign(a.Len() - b.Len())
+}
+
+// Equal reports whether a and b compare as equal.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	}
+	return 0
+}
+
+// Hash returns a 64-bit hash of v, consistent with Equal for the scalar
+// types (values that compare equal hash equally). The MapReduce engine
+// uses it to partition map output across reducers.
+func Hash(v Value) uint64 {
+	h := fnv.New64a()
+	hashInto(h, v)
+	return h.Sum64()
+}
+
+type hasher interface {
+	Write(p []byte) (int, error)
+}
+
+func hashInto(h hasher, v Value) {
+	var buf [9]byte
+	switch x := v.(type) {
+	case nil:
+		buf[0] = 0
+		h.Write(buf[:1])
+	case int64:
+		writeNumeric(h, float64(x))
+	case float64:
+		writeNumeric(h, x)
+	case string:
+		buf[0] = 2
+		h.Write(buf[:1])
+		h.Write([]byte(x))
+	case Tuple:
+		buf[0] = 3
+		h.Write(buf[:1])
+		for _, f := range x {
+			hashInto(h, f)
+		}
+	case *Bag:
+		buf[0] = 4
+		h.Write(buf[:1])
+		for _, t := range x.Tuples {
+			hashInto(h, t)
+		}
+	}
+}
+
+func writeNumeric(h hasher, f float64) {
+	var buf [9]byte
+	buf[0] = 1
+	bits := math.Float64bits(f)
+	for i := 0; i < 8; i++ {
+		buf[1+i] = byte(bits >> (8 * i))
+	}
+	h.Write(buf[:9])
+}

@@ -1,0 +1,294 @@
+// Package restore is the public API of the ReStore reproduction: a
+// dataflow system (a Pig Latin subset compiled to MapReduce workflows),
+// a laptop-scale MapReduce engine with a simulated cluster clock, and
+// the ReStore extension that stores and reuses the outputs of MapReduce
+// jobs and sub-jobs across queries.
+//
+// Quick start:
+//
+//	sys := restore.New(restore.DefaultConfig())
+//	sys.WriteDataset("events", rows)
+//	res, err := sys.Execute(`
+//	    A = load 'events' as (user, amount);
+//	    B = group A by user;
+//	    C = foreach B generate group, SUM(A.amount);
+//	    store C into 'totals';
+//	`)
+//	rows, err := res.Output("totals")
+//
+// Execute both runs the query (for real, on the embedded engine) and
+// reports the simulated "time on Hadoop" for the paper's 15-node
+// cluster. Configure reuse through Config.Options: enable
+// Options.Reuse, pick a sub-job materialization heuristic, and repeated
+// or overlapping queries get rewritten to read previously stored
+// results instead of recomputing them.
+package restore
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/logical"
+	"repro/internal/mapreduce"
+	"repro/internal/mrcompile"
+	"repro/internal/physical"
+	"repro/internal/piglatin"
+	"repro/internal/tuple"
+)
+
+// Re-exported data model types.
+type (
+	// Tuple is one row of a dataset.
+	Tuple = tuple.Tuple
+	// Value is one field of a Tuple: nil, int64, float64, string,
+	// Tuple, or *Bag.
+	Value = tuple.Value
+	// Bag is a collection of tuples (appears in grouped results).
+	Bag = tuple.Bag
+)
+
+// Options configures ReStore behaviour per workflow; see core.Options.
+type Options = core.Options
+
+// Heuristic selects which operator outputs the sub-job enumerator
+// materializes.
+type Heuristic = core.Heuristic
+
+// The sub-job enumeration heuristics of the paper's Section 4.
+const (
+	// HeuristicOff stores no sub-jobs.
+	HeuristicOff = core.HeuristicOff
+	// Conservative stores outputs of size-reducing operators
+	// (Project and Filter).
+	Conservative = core.Conservative
+	// Aggressive additionally stores outputs of expensive operators
+	// (Join, Group, CoGroup).
+	Aggressive = core.Aggressive
+	// NoHeuristic stores the output of every physical operator.
+	NoHeuristic = core.NoHeuristic
+)
+
+// Config configures a System.
+type Config struct {
+	// Topology is the simulated cluster (defaults to the paper's
+	// 14 workers × 4 map slots × 2 reduce slots).
+	Topology cluster.Topology
+	// Cost is the simulated cost model.
+	Cost cluster.CostModel
+	// SimScale maps actual stored bytes to simulated bytes, letting
+	// megabyte-scale test data stand in for the paper's 15 GB and
+	// 150 GB instances.
+	SimScale float64
+	// RecordScale maps actual records to simulated ones (defaults to
+	// SimScale).
+	RecordScale float64
+	// SplitSize is the simulated input split size (default 128 MiB).
+	SplitSize int64
+	// DefaultReducers is the reduce parallelism for statements without
+	// a PARALLEL clause (default: the cluster's reduce slots).
+	DefaultReducers int
+	// Options configures ReStore (reuse off by default: the engine then
+	// behaves like stock Pig/Hadoop).
+	Options Options
+}
+
+// DefaultConfig returns a configuration mirroring the paper's testbed
+// with ReStore disabled.
+func DefaultConfig() Config {
+	topo := cluster.DefaultTopology()
+	return Config{
+		Topology:        topo,
+		Cost:            cluster.DefaultCostModel(),
+		SimScale:        1,
+		SplitSize:       128 << 20,
+		DefaultReducers: topo.ReduceSlots(),
+	}
+}
+
+// System is a live instance: a DFS, a MapReduce engine, a repository of
+// stored job outputs, and the ReStore driver.
+type System struct {
+	fs     *dfs.FS
+	eng    *mapreduce.Engine
+	repo   *core.Repository
+	driver *core.Driver
+	cfg    Config
+	nquery int
+}
+
+// New creates a System.
+func New(cfg Config) *System {
+	if cfg.DefaultReducers <= 0 {
+		if cfg.Topology.Workers > 0 {
+			cfg.DefaultReducers = cfg.Topology.ReduceSlots()
+		} else {
+			cfg.DefaultReducers = cluster.DefaultTopology().ReduceSlots()
+		}
+	}
+	if cfg.Cost.DiskReadBW == 0 {
+		cfg.Cost = cluster.DefaultCostModel()
+	}
+	fs := dfs.New()
+	eng := mapreduce.New(fs, mapreduce.Config{
+		Topology:    cfg.Topology,
+		Cost:        cfg.Cost,
+		SimScale:    cfg.SimScale,
+		RecordScale: cfg.RecordScale,
+		SplitSize:   cfg.SplitSize,
+	})
+	repo := core.NewRepository()
+	return &System{
+		fs:     fs,
+		eng:    eng,
+		repo:   repo,
+		driver: core.NewDriver(eng, repo, cfg.Options),
+		cfg:    cfg,
+	}
+}
+
+// FS exposes the distributed file system.
+func (s *System) FS() *dfs.FS { return s.fs }
+
+// Repository exposes the ReStore repository.
+func (s *System) Repository() *core.Repository { return s.repo }
+
+// Options returns the current ReStore options.
+func (s *System) Options() Options { return s.driver.Opts }
+
+// SetOptions reconfigures ReStore for subsequent Execute calls.
+func (s *System) SetOptions(opts Options) { s.driver.Opts = opts }
+
+// SetSimScale adjusts the byte scale-up of the simulated clock; useful
+// after loading data, to size it to a target simulated volume.
+func (s *System) SetSimScale(scale float64) {
+	s.SetScales(scale, scale)
+}
+
+// SetScales adjusts the byte and record scale-up factors of the
+// simulated clock independently.
+func (s *System) SetScales(simScale, recordScale float64) {
+	cfg := s.eng.Config()
+	cfg.SimScale = simScale
+	cfg.RecordScale = recordScale
+	s.eng = mapreduce.New(s.fs, cfg)
+	s.driver.Engine = s.eng
+}
+
+// WriteDataset stores rows as a single-part dataset at path.
+func (s *System) WriteDataset(path string, rows []Tuple) error {
+	w := s.fs.Create(strings.TrimSuffix(path, "/") + "/part-00000")
+	tw := tuple.NewWriter(w)
+	for _, r := range rows {
+		if err := tw.Write(r); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// ReadDataset returns every tuple stored under path.
+func (s *System) ReadDataset(path string) ([]Tuple, error) {
+	files := s.fs.List(path)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("restore: dataset %q does not exist", path)
+	}
+	var out []Tuple
+	for _, f := range files {
+		data, err := s.fs.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if line == "" {
+				continue
+			}
+			out = append(out, tuple.DecodeText(line))
+		}
+	}
+	return out, nil
+}
+
+// SaveRepository persists the ReStore repository into the DFS at path,
+// so a later session (LoadRepository) can keep reusing this session's
+// stored outputs.
+func (s *System) SaveRepository(path string) error {
+	return s.repo.Save(s.fs, path)
+}
+
+// LoadRepository replaces the current repository with one previously
+// saved at path.
+func (s *System) LoadRepository(path string) error {
+	repo, err := core.LoadRepository(s.fs, path)
+	if err != nil {
+		return err
+	}
+	s.repo = repo
+	s.driver.Repo = repo
+	return nil
+}
+
+// Result reports one executed query.
+type Result struct {
+	*core.Result
+	sys *System
+}
+
+// Output returns the rows of the query's STORE destination, following
+// any whole-job-reuse redirection.
+func (r *Result) Output(userPath string) ([]Tuple, error) {
+	path := userPath
+	if p, ok := r.FinalOutputs[userPath]; ok && p != "" {
+		path = p
+	}
+	return r.sys.ReadDataset(path)
+}
+
+// Compile parses and compiles a script without executing it, returning
+// the workflow's job count — useful for inspecting how a query maps to
+// MapReduce jobs.
+func (s *System) Compile(script string) (int, error) {
+	s.nquery++
+	wf, err := s.compile(script, fmt.Sprintf("tmp/c%d", s.nquery))
+	if err != nil {
+		return 0, err
+	}
+	return len(wf.Jobs), nil
+}
+
+func (s *System) compile(script, tempPrefix string) (*physical.Workflow, error) {
+	parsed, err := piglatin.Parse(script)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := logical.Build(parsed)
+	if err != nil {
+		return nil, err
+	}
+	lp = logical.Optimize(lp)
+	return mrcompile.Compile(lp, mrcompile.Options{
+		TempPrefix:      tempPrefix,
+		DefaultReducers: s.cfg.DefaultReducers,
+	})
+}
+
+// Execute parses, compiles, and runs a Pig Latin script through the
+// ReStore pipeline.
+func (s *System) Execute(script string) (*Result, error) {
+	s.nquery++
+	qid := fmt.Sprintf("q%d", s.nquery)
+	wf, err := s.compile(script, "tmp/"+qid)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.driver.Execute(wf, qid)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: res, sys: s}, nil
+}

@@ -1,0 +1,250 @@
+package restore
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func newTestSystem(opts Options) *System {
+	cfg := DefaultConfig()
+	cfg.Options = opts
+	return New(cfg)
+}
+
+func seedEvents(t *testing.T, sys *System) {
+	t.Helper()
+	rows := []Tuple{
+		{"alice", int64(10)},
+		{"bob", int64(5)},
+		{"alice", int64(7)},
+		{"carol", int64(2)},
+	}
+	if err := sys.WriteDataset("events", rows); err != nil {
+		t.Fatalf("WriteDataset: %v", err)
+	}
+}
+
+const totalsScript = `
+A = load 'events' as (user, amount);
+B = group A by user;
+C = foreach B generate group, SUM(A.amount);
+store C into 'totals';
+`
+
+func sorted(rows []Tuple) []Tuple {
+	sort.Slice(rows, func(i, j int) bool { return tuple.CompareTuples(rows[i], rows[j]) < 0 })
+	return rows
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := newTestSystem(Options{})
+	seedEvents(t, sys)
+	res, err := sys.Execute(totalsScript)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	rows, err := res.Output("totals")
+	if err != nil {
+		t.Fatalf("Output: %v", err)
+	}
+	rows = sorted(rows)
+	want := []Tuple{
+		{"alice", int64(17)},
+		{"bob", int64(5)},
+		{"carol", int64(2)},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %v", rows)
+	}
+	for i := range want {
+		if !tuple.Equal(rows[i], want[i]) {
+			t.Errorf("row %d = %v, want %v", i, rows[i], want[i])
+		}
+	}
+	if res.SimTime <= 0 {
+		t.Errorf("SimTime = %v", res.SimTime)
+	}
+}
+
+func TestExecuteParseError(t *testing.T) {
+	sys := newTestSystem(Options{})
+	if _, err := sys.Execute("not pig latin"); err == nil {
+		t.Errorf("garbage should not parse")
+	}
+}
+
+func TestExecuteMissingDataset(t *testing.T) {
+	sys := newTestSystem(Options{})
+	if _, err := sys.Execute(`A = load 'nope' as (x); store A into 'o';`); err == nil {
+		t.Errorf("missing dataset should fail")
+	}
+}
+
+func TestReuseAcrossExecutes(t *testing.T) {
+	sys := newTestSystem(Options{Reuse: true, KeepWholeJobs: true, Heuristic: Aggressive})
+	seedEvents(t, sys)
+	r1, err := sys.Execute(totalsScript)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(r1.Stored) == 0 {
+		t.Fatalf("first run stored nothing")
+	}
+	r2, err := sys.Execute(totalsScript)
+	if err != nil {
+		t.Fatalf("Execute#2: %v", err)
+	}
+	if len(r2.Rewrites) == 0 {
+		t.Fatalf("second run reused nothing")
+	}
+	rows1, _ := r1.Output("totals")
+	rows2, _ := r2.Output("totals")
+	rows1, rows2 = sorted(rows1), sorted(rows2)
+	if len(rows1) != len(rows2) {
+		t.Fatalf("results differ: %v vs %v", rows1, rows2)
+	}
+	for i := range rows1 {
+		if !tuple.Equal(rows1[i], rows2[i]) {
+			t.Errorf("row %d differs: %v vs %v", i, rows1[i], rows2[i])
+		}
+	}
+	if sys.Repository().Len() == 0 {
+		t.Errorf("repository empty after storing runs")
+	}
+}
+
+func TestCompileReportsJobCount(t *testing.T) {
+	sys := newTestSystem(Options{})
+	n, err := sys.Compile(totalsScript)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("jobs = %d, want 1", n)
+	}
+	n2, err := sys.Compile(`
+A = load 'x' as (u, v);
+B = group A by u;
+C = foreach B generate group, COUNT(A) as n;
+D = group C by n;
+E = foreach D generate group, COUNT(C);
+store E into 'o';
+`)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if n2 != 2 {
+		t.Errorf("jobs = %d, want 2", n2)
+	}
+}
+
+func TestSetOptionsSwitchesBehaviour(t *testing.T) {
+	sys := newTestSystem(Options{})
+	seedEvents(t, sys)
+	r1, err := sys.Execute(totalsScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Stored) != 0 {
+		t.Errorf("storing disabled but entries created")
+	}
+	sys.SetOptions(Options{Heuristic: Conservative})
+	r2, err := sys.Execute(totalsScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Stored) == 0 {
+		t.Errorf("conservative heuristic stored nothing")
+	}
+}
+
+func TestSetScalesAffectsSimTime(t *testing.T) {
+	run := func(scale float64) *Result {
+		sys := newTestSystem(Options{})
+		seedEvents(t, sys)
+		sys.SetScales(scale, scale)
+		res, err := sys.Execute(totalsScript)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	small := run(1)
+	big := run(1e6)
+	if big.SimTime <= small.SimTime {
+		t.Errorf("sim time should grow with scale: %v vs %v", small.SimTime, big.SimTime)
+	}
+}
+
+func TestReadDatasetMissing(t *testing.T) {
+	sys := newTestSystem(Options{})
+	if _, err := sys.ReadDataset("absent"); err == nil {
+		t.Errorf("missing dataset should error")
+	}
+}
+
+func TestMultiStoreScript(t *testing.T) {
+	sys := newTestSystem(Options{})
+	seedEvents(t, sys)
+	res, err := sys.Execute(`
+A = load 'events' as (user, amount);
+B = filter A by amount > 4;
+C = foreach B generate user;
+G = group B by user;
+S = foreach G generate group, COUNT(B);
+store C into 'big_spenders';
+store S into 'counts';
+`)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	bs, err := res.Output("big_spenders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 3 { // alice 10, bob 5, alice 7
+		t.Errorf("big_spenders = %v", bs)
+	}
+	cnt, err := res.Output("counts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cnt) != 2 { // alice, bob
+		t.Errorf("counts = %v", cnt)
+	}
+}
+
+func TestRepositoryPersistenceAPI(t *testing.T) {
+	sys := newTestSystem(Options{Heuristic: Aggressive, KeepWholeJobs: true})
+	seedEvents(t, sys)
+	if _, err := sys.Execute(totalsScript); err != nil {
+		t.Fatal(err)
+	}
+	n := sys.Repository().Len()
+	if n == 0 {
+		t.Fatal("nothing stored")
+	}
+	if err := sys.SaveRepository("restore/repo.gob"); err != nil {
+		t.Fatalf("SaveRepository: %v", err)
+	}
+	if err := sys.LoadRepository("restore/repo.gob"); err != nil {
+		t.Fatalf("LoadRepository: %v", err)
+	}
+	if sys.Repository().Len() != n {
+		t.Errorf("loaded %d entries, want %d", sys.Repository().Len(), n)
+	}
+	// The reloaded repository must still drive rewrites.
+	sys.SetOptions(Options{Reuse: true})
+	res, err := sys.Execute(totalsScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rewrites) == 0 {
+		t.Errorf("no rewrites from reloaded repository")
+	}
+	if err := sys.LoadRepository("missing"); err == nil {
+		t.Errorf("loading a missing repository should error")
+	}
+}
