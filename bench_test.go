@@ -8,6 +8,7 @@ package restore_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -241,4 +242,40 @@ func BenchmarkEquationOne(b *testing.B) {
 			b.Fatal("bad critical path")
 		}
 	}
+}
+
+// BenchmarkConcurrentClients measures the multi-client serving path: 8
+// goroutines issue shared-prefix queries against one warm System with
+// reuse enabled, each writing a private output. Throughput scales with
+// the thread-safe repository and the DAG scheduler sharing the
+// engine-wide task pool.
+func BenchmarkConcurrentClients(b *testing.B) {
+	cfg := restore.DefaultConfig()
+	cfg.Options = restore.Options{Reuse: true, KeepWholeJobs: true, Heuristic: restore.Conservative}
+	sys := restore.New(cfg)
+	rows := make([]restore.Tuple, 0, 64)
+	for i := 0; i < 64; i++ {
+		rows = append(rows, restore.Tuple{fmt.Sprintf("u%d", i%7), int64(i)})
+	}
+	if err := sys.WriteDataset("events", rows); err != nil {
+		b.Fatal(err)
+	}
+	var seq atomic.Int64
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			out := fmt.Sprintf("bench/cc/%d", seq.Add(1))
+			script := fmt.Sprintf(`
+a = load 'events' as (user, amount);
+d = distinct a;
+g = group d by user;
+s = foreach g generate group, SUM(d.amount);
+store s into '%s';
+`, out)
+			if _, err := sys.Execute(script); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -6,7 +6,12 @@
 //
 //	experiments               # run everything (takes a few minutes)
 //	experiments -run fig9     # one experiment: fig9..fig17, table1, table2
+//	experiments -parallel 4   # run selected experiments concurrently
 //	experiments -o results.txt
+//
+// Each experiment builds its own System, DFS and repository, so with
+// -parallel N independent experiments run concurrently; reports are
+// still printed in the requested order.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/exp"
@@ -36,40 +42,91 @@ var runners = map[string]func() (*exp.Report, error){
 func main() {
 	runFlag := flag.String("run", "all", "experiment to run: all, or one of fig9..fig17, table1, table2 (comma-separated)")
 	outFlag := flag.String("o", "", "also write the report to this file")
+	parFlag := flag.Int("parallel", 1, "experiments to run concurrently (each has its own System)")
 	flag.Parse()
 
 	start := time.Now()
-	var reports []*exp.Report
-	if *runFlag == "all" {
+	par := *parFlag
+	if par < 1 {
+		par = 1
+	}
+
+	if *runFlag == "all" && par == 1 {
+		// Serial "all" shares one synthetic study across figures 10-14.
 		all, err := exp.All()
-		reports = all
 		if err != nil {
 			fail(err)
 		}
+		emit(all, start, *outFlag)
+		return
+	}
+
+	var names []string
+	if *runFlag == "all" {
+		names = append(names, canonicalOrder...)
 	} else {
 		for _, name := range strings.Split(*runFlag, ",") {
 			name = strings.TrimSpace(strings.ToLower(name))
-			run, ok := runners[name]
-			if !ok {
+			if _, ok := runners[name]; !ok {
 				fail(fmt.Errorf("unknown experiment %q", name))
 			}
-			rep, err := run()
-			if err != nil {
-				fail(err)
-			}
-			reports = append(reports, rep)
+			names = append(names, name)
 		}
 	}
 
+	reports := make([]*exp.Report, len(names))
+	errs := make([]error, len(names))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			reports[i], errs[i] = runners[name]()
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fail(err)
+		}
+	}
+	emit(reports, start, *outFlag)
+}
+
+// canonicalOrder is the paper's presentation order, used for
+// -parallel runs of "all" (the serial path goes through exp.All).
+var canonicalOrder = []string{
+	"fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+	"table1", "fig15", "table2", "fig16", "fig17",
+}
+
+// init guards against canonicalOrder drifting from the runners map
+// when experiments are added: "-run all -parallel N" must cover the
+// same set as serial "-run all".
+func init() {
+	if len(canonicalOrder) != len(runners) {
+		panic(fmt.Sprintf("canonicalOrder has %d experiments, runners has %d", len(canonicalOrder), len(runners)))
+	}
+	for _, name := range canonicalOrder {
+		if _, ok := runners[name]; !ok {
+			panic("canonicalOrder names unknown experiment " + name)
+		}
+	}
+}
+
+func emit(reports []*exp.Report, start time.Time, outPath string) {
 	text := exp.Summary(reports)
 	fmt.Print(text)
 	fmt.Printf("completed %d experiment(s) in %v\n", len(reports), time.Since(start).Round(time.Second))
 
-	if *outFlag != "" {
-		if err := os.WriteFile(*outFlag, []byte(text), 0o644); err != nil {
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(text), 0o644); err != nil {
 			fail(err)
 		}
-		fmt.Println("wrote", *outFlag)
+		fmt.Println("wrote", outPath)
 	}
 }
 

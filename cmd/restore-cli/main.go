@@ -35,6 +35,7 @@ func main() {
 		wholeFlag  = flag.Bool("whole-jobs", true, "store whole job outputs in the repository")
 		listFlag   = flag.Bool("list", false, "list available PigMix queries and exit")
 		printFlag  = flag.Bool("print", false, "print up to 20 output rows")
+		workerFlag = flag.Int("workers", 0, "concurrent jobs per workflow DAG (0 = NumCPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -76,6 +77,7 @@ func main() {
 	}
 
 	cfg := restore.DefaultConfig()
+	cfg.WorkflowWorkers = *workerFlag
 	cfg.Options = restore.Options{
 		Reuse:         *reuseFlag,
 		Heuristic:     heur,

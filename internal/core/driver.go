@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -39,6 +42,12 @@ type Options struct {
 	DeleteTemps bool
 }
 
+// storesAnything reports whether this configuration writes repository
+// entries.
+func (o Options) storesAnything() bool {
+	return o.KeepWholeJobs || o.Heuristic != HeuristicOff
+}
+
 // Result reports one workflow execution.
 type Result struct {
 	QueryID string
@@ -51,7 +60,8 @@ type Result struct {
 	JobsRun    int
 	JobsReused int
 
-	// Rewrites lists the repository reuses applied.
+	// Rewrites lists the repository reuses applied, in the workflow's
+	// topological job order.
 	Rewrites []RewriteEvent
 	// Stored lists the repository entries registered by this execution.
 	Stored []*Entry
@@ -64,20 +74,37 @@ type Result struct {
 }
 
 // Driver executes workflows of MapReduce jobs through ReStore: it is the
-// analogue of the paper's extension to Pig's JobControlCompiler. Jobs
-// are processed in dependency order; each is matched and rewritten
-// against the repository, has sub-job Stores injected per the
-// heuristic, is executed, and has its outputs registered.
+// analogue of the paper's extension to Pig's JobControlCompiler. Each
+// workflow's jobs are scheduled over its dependency DAG: independent
+// jobs run concurrently on a bounded worker pool, and each job is
+// matched and rewritten against the repository, has sub-job Stores
+// injected per the heuristic, is executed, and has its outputs
+// registered — only after every job it depends on has completed.
+//
+// Execute is safe for concurrent use by multiple goroutines sharing one
+// Driver: the repository is internally synchronized, the simulated
+// clock and query counter are atomic, and every Execute works on a
+// private clone of its workflow. The configuration fields (Engine,
+// Repo, Opts, Workers) must not be reassigned while Execute calls are
+// in flight; restore.System serializes reconfiguration against
+// executions with a read-write lock.
 type Driver struct {
 	Engine *mapreduce.Engine
 	Repo   *Repository
 	Opts   Options
 
-	// Clock accumulates simulated time across executions; it drives the
-	// reuse-window eviction rule.
-	Clock time.Duration
+	// Workers bounds how many jobs of one workflow run concurrently;
+	// zero or negative means runtime.NumCPU(). Workers = 1 restores the
+	// serial execution order of the paper's Pig/Hadoop setup (the
+	// simulated time is identical either way; only real wall time
+	// changes).
+	Workers int
 
-	queryCounter int
+	// clock accumulates simulated nanoseconds across executions; it
+	// drives the reuse-window eviction rule.
+	clock atomic.Int64
+
+	queryCounter atomic.Int64
 }
 
 // NewDriver returns a driver over the engine and repository.
@@ -85,70 +112,129 @@ func NewDriver(eng *mapreduce.Engine, repo *Repository, opts Options) *Driver {
 	return &Driver{Engine: eng, Repo: repo, Opts: opts}
 }
 
-// storesAnything reports whether this configuration writes repository
-// entries.
-func (d *Driver) storesAnything() bool {
-	return d.Opts.KeepWholeJobs || d.Opts.Heuristic != HeuristicOff
+// Now returns the driver's simulated clock: the total simulated time of
+// every workflow completed so far.
+func (d *Driver) Now() time.Duration {
+	return time.Duration(d.clock.Load())
+}
+
+// advance moves the simulated clock forward.
+func (d *Driver) advance(by time.Duration) {
+	d.clock.Add(int64(by))
+}
+
+// jobOutcome accumulates the per-job results of one workflow execution;
+// each scheduled job writes only its own slot, and the outcomes are
+// merged in topological order after the DAG drains so reports stay
+// deterministic under concurrent scheduling.
+type jobOutcome struct {
+	events      []RewriteEvent
+	reusedWhole bool
+	stats       *mapreduce.JobStats
+	deps        []string
+	stored      []*Entry
+	extraBytes  int64
 }
 
 // Execute runs a workflow through the full ReStore pipeline and returns
 // its report. queryID must be unique per execution; pass "" to
-// auto-generate.
+// auto-generate. The caller's workflow is never mutated: Execute clones
+// it, so one compiled workflow may be executed repeatedly or from
+// several goroutines at once.
 func (d *Driver) Execute(wf *physical.Workflow, queryID string) (*Result, error) {
 	start := time.Now()
 	if queryID == "" {
-		d.queryCounter++
-		queryID = fmt.Sprintf("q%d", d.queryCounter)
+		queryID = fmt.Sprintf("q%d", d.queryCounter.Add(1))
 	}
+	opts := d.Opts
+	eng := d.Engine
+	repo := d.Repo
+	wf = wf.Clone()
+
 	res := &Result{QueryID: queryID, FinalOutputs: map[string]string{}}
 	for p, v := range wf.FinalOutputs {
 		res.FinalOutputs[p] = v
 	}
 
-	rewriter := &Rewriter{Repo: d.Repo, FS: d.Engine.FS()}
+	rewriter := &Rewriter{Repo: repo, FS: eng.FS()}
 	enum := &Enumerator{
-		Heuristic: d.Opts.Heuristic,
+		Heuristic: opts.Heuristic,
 		PathFor: func(job *physical.Job, opID int) string {
 			return fmt.Sprintf("restore/%s/%s/op%d", queryID, job.ID, opID)
 		},
 		SkipExisting: func(prefix PlanSig) bool {
-			e := d.Repo.Lookup(prefix)
-			return e != nil && d.Repo.Valid(e, d.Engine.FS())
+			e := repo.Lookup(prefix)
+			return e != nil && repo.Valid(e, eng.FS())
 		},
 	}
-
-	jobTimes := map[string]time.Duration{}
-	jobDeps := map[string][]string{}
 
 	jobs, err := wf.TopoJobs()
 	if err != nil {
 		return nil, err
 	}
-	for _, job := range jobs {
-		if wf.Job(job.ID) == nil {
-			continue // removed by a whole-job rewrite of an earlier pass
+	slot := make(map[string]int, len(jobs))
+	for i, j := range jobs {
+		slot[j.ID] = i
+	}
+	// dependants of a job are the only jobs whole-job reuse may touch
+	// besides the job itself; they cannot have started yet (they depend
+	// on it), so mutating them is safe — unlike a workflow-wide sweep,
+	// which would read sibling jobs' plans while their goroutines
+	// mutate them.
+	dependants := make(map[string][]*physical.Job, len(jobs))
+	for _, j := range jobs {
+		for _, dep := range j.DependsOn {
+			dependants[dep] = append(dependants[dep], j)
 		}
-		isFinal := false
-		if _, ok := wf.FinalOutputs[job.OutputPath]; ok {
-			isFinal = true
-		}
+	}
+	outcomes := make([]jobOutcome, len(jobs))
 
-		if d.Opts.Reuse {
+	// Entries pinned by this execution's rewrites stay vacuum-proof
+	// until the workflow finishes (rewritten jobs read their outputs).
+	var pinned []string
+	defer func() {
+		for _, id := range pinned {
+			repo.Unpin(id)
+		}
+	}()
+
+	// wfMu serializes every mutation of the shared workflow structure:
+	// rewriting a job's plan, dropping a whole-job-reused job, and
+	// redirecting its dependants' Load paths and dependency lists. A job
+	// is scheduled only after its producers completed (including their
+	// dependant redirects), so outside this lock each job's plan and
+	// DependsOn list are private to the goroutine running it.
+	var wfMu sync.Mutex
+
+	process := func(job *physical.Job) error {
+		out := &outcomes[slot[job.ID]]
+
+		wfMu.Lock()
+		_, isFinal := wf.FinalOutputs[job.OutputPath]
+		if opts.Reuse {
 			events := rewriter.RewriteJob(job, !isFinal)
 			for _, ev := range events {
-				if e := d.findEntry(ev.EntryID); e != nil {
-					d.Repo.NoteReuse(e, d.Clock)
-				}
+				pinned = append(pinned, ev.EntryID)
+				repo.NoteReuse(ev.entry, d.Now())
 			}
-			res.Rewrites = append(res.Rewrites, events...)
+			out.events = events
 			if n := len(events); n > 0 && events[n-1].WholeJob {
-				// Drop the job; dependants read the stored output.
-				wf.RemoveJob(job.ID)
-				wf.RewriteLoadPaths(job.OutputPath, events[n-1].Path)
-				res.JobsReused++
-				continue
+				// Drop the job; its dependants — which cannot have
+				// started — read the stored output instead.
+				wf.DropJob(job.ID)
+				for _, dep := range dependants[job.ID] {
+					dep.RemoveDependency(job.ID)
+					dep.RewriteLoadPath(job.OutputPath, events[n-1].Path)
+				}
+				out.reusedWhole = true
+				wfMu.Unlock()
+				return nil
 			}
 		}
+		// Snapshot the dependency list for Equation 1 while the lock is
+		// held: whole-job reuse of a producer strips it from DependsOn.
+		out.deps = append([]string(nil), job.DependsOn...)
+		wfMu.Unlock()
 
 		// Snapshot the plan before Store injection: the whole-job
 		// repository entry must describe the job without ReStore's
@@ -157,30 +243,54 @@ func (d *Driver) Execute(wf *physical.Workflow, queryID string) (*Result, error)
 
 		candidates := enum.Enumerate(job)
 
-		stats, err := d.Engine.Run(job)
+		stats, err := eng.Run(job)
 		if err != nil {
-			return nil, fmt.Errorf("core: executing %s/%s: %w", queryID, job.ID, err)
+			return fmt.Errorf("core: executing %s/%s: %w", queryID, job.ID, err)
 		}
-		res.JobStats = append(res.JobStats, stats)
-		res.JobsRun++
-		jobTimes[job.ID] = stats.SimTime
-		jobDeps[job.ID] = append([]string(nil), job.DependsOn...)
+		out.stats = stats
+		out.stored, out.extraBytes = d.register(opts, eng, repo, job, cleanPlan, candidates, stats)
+		return nil
+	}
 
-		d.register(job, cleanPlan, candidates, stats, res)
+	workers := d.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if err := runDAG(jobs, workers, process); err != nil {
+		return nil, err
+	}
+
+	// Merge per-job outcomes in topological order so Rewrites, Stored
+	// and JobStats read the same regardless of scheduling interleaving.
+	jobTimes := map[string]time.Duration{}
+	jobDeps := map[string][]string{}
+	for i, job := range jobs {
+		out := &outcomes[i]
+		res.Rewrites = append(res.Rewrites, out.events...)
+		if out.reusedWhole {
+			res.JobsReused++
+			continue
+		}
+		res.JobStats = append(res.JobStats, out.stats)
+		res.JobsRun++
+		jobTimes[job.ID] = out.stats.SimTime
+		jobDeps[job.ID] = out.deps
+		res.Stored = append(res.Stored, out.stored...)
+		res.ExtraStoredSimBytes += out.extraBytes
 	}
 
 	res.SimTime = cluster.CriticalPath(jobTimes, jobDeps)
-	d.Clock += res.SimTime
+	d.advance(res.SimTime)
 
-	if d.Opts.DeleteTemps && !d.storesAnything() {
-		d.deleteTemps(wf, jobs)
+	if opts.DeleteTemps && !opts.storesAnything() {
+		deleteTemps(eng, wf, jobs)
 	}
-	if d.Opts.EvictionWindow > 0 {
-		for _, e := range d.Repo.Vacuum(d.Engine.FS(), d.Clock, d.Opts.EvictionWindow) {
+	if opts.EvictionWindow > 0 {
+		for _, e := range repo.Vacuum(eng.FS(), d.Now(), opts.EvictionWindow) {
 			// Reclaim the space of evicted sub-job outputs; user-visible
 			// outputs (whole final jobs) are left in place.
 			if !e.WholeJob {
-				_ = d.Engine.FS().Delete(e.OutputPath)
+				_ = eng.FS().Delete(e.OutputPath)
 			}
 		}
 	}
@@ -189,28 +299,25 @@ func (d *Driver) Execute(wf *physical.Workflow, queryID string) (*Result, error)
 	return res, nil
 }
 
-func (d *Driver) findEntry(id string) *Entry {
-	for _, e := range d.Repo.Entries() {
-		if e.ID == id {
-			return e
-		}
-	}
-	return nil
-}
-
 // register stores the whole-job output and the enumerated sub-job
-// outputs in the repository (the enumerated sub-job selector).
-func (d *Driver) register(job *physical.Job, cleanPlan *physical.Plan, candidates []Candidate, stats *mapreduce.JobStats, res *Result) {
-	fs := d.Engine.FS()
+// outputs in the repository (the enumerated sub-job selector) and
+// returns the entries kept plus the extra simulated bytes materialized.
+// eng and repo are the execution's snapshots — register must not reach
+// back through the Driver fields, which only restore.System's locking
+// keeps stable.
+func (d *Driver) register(opts Options, eng *mapreduce.Engine, repo *Repository, job *physical.Job, cleanPlan *physical.Plan, candidates []Candidate, stats *mapreduce.JobStats) ([]*Entry, int64) {
+	fs := eng.FS()
+	var stored []*Entry
+	var extraBytes int64
 
 	admit := func(e *Entry) bool {
 		if e.Plan.OpCount() <= 1 {
 			return false // a bare Load: reusing it is just re-reading the input
 		}
-		if d.Opts.AdmitOnlyReducing && e.Stats.OutputSimBytes >= e.Stats.InputSimBytes {
+		if opts.AdmitOnlyReducing && e.Stats.OutputSimBytes >= e.Stats.InputSimBytes {
 			return false
 		}
-		if d.Opts.AdmitOnlyBeneficial && !d.beneficial(e) {
+		if opts.AdmitOnlyBeneficial && !beneficial(eng, e) {
 			return false
 		}
 		return true
@@ -224,7 +331,7 @@ func (d *Driver) register(job *physical.Job, cleanPlan *physical.Plan, candidate
 		return vs
 	}
 
-	if d.Opts.KeepWholeJobs {
+	if opts.KeepWholeJobs {
 		sig := SigOf(cleanPlan)
 		e := &Entry{
 			Plan:       sig,
@@ -238,17 +345,17 @@ func (d *Driver) register(job *physical.Job, cleanPlan *physical.Plan, candidate
 				JobSimTime:     stats.SimTime,
 			},
 			InputVersions: versionsOf(sig),
-			StoredAt:      d.Clock,
+			StoredAt:      d.Now(),
 		}
 		if admit(e) {
-			res.Stored = append(res.Stored, d.Repo.Insert(e))
+			stored = append(stored, repo.Insert(e))
 		}
 	}
 
 	for _, c := range candidates {
 		out := stats.Outputs[c.Path]
 		if !c.Existing {
-			res.ExtraStoredSimBytes += out.SimBytes
+			extraBytes += out.SimBytes
 		}
 		prefix := SigOf(job.Plan.PrefixPlan(c.OpID, c.Path))
 		e := &Entry{
@@ -262,22 +369,23 @@ func (d *Driver) register(job *physical.Job, cleanPlan *physical.Plan, candidate
 				JobSimTime:     stats.SimTime,
 			},
 			InputVersions: versionsOf(prefix),
-			StoredAt:      d.Clock,
+			StoredAt:      d.Now(),
 		}
 		if admit(e) {
-			res.Stored = append(res.Stored, d.Repo.Insert(e))
+			stored = append(stored, repo.Insert(e))
 		} else if !c.Existing {
 			_ = fs.Delete(c.Path) // rejected by the selector: reclaim now
 		}
 	}
+	return stored, extraBytes
 }
 
 // beneficial estimates Section 5 Rule 2: reusing the entry must beat
 // recomputing it. The replacement job reads the stored output from the
 // DFS; the saved work is the producing job's execution time.
-func (d *Driver) beneficial(e *Entry) bool {
-	cost := d.Engine.Config().Cost
-	topo := d.Engine.Config().Topology
+func beneficial(eng *mapreduce.Engine, e *Entry) bool {
+	cost := eng.Config().Cost
+	topo := eng.Config().Topology
 	readBW := cost.DiskReadBW * float64(topo.MapSlots())
 	if readBW <= 0 {
 		return true
@@ -289,14 +397,14 @@ func (d *Driver) beneficial(e *Entry) bool {
 
 // deleteTemps removes inter-job temporaries, the pre-ReStore "current
 // practice".
-func (d *Driver) deleteTemps(wf *physical.Workflow, jobs []*physical.Job) {
+func deleteTemps(eng *mapreduce.Engine, wf *physical.Workflow, jobs []*physical.Job) {
 	finals := map[string]bool{}
 	for p := range wf.FinalOutputs {
 		finals[p] = true
 	}
 	for _, j := range jobs {
 		if !finals[j.OutputPath] {
-			_ = d.Engine.FS().Delete(j.OutputPath)
+			_ = eng.FS().Delete(j.OutputPath)
 		}
 	}
 }

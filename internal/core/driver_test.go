@@ -342,7 +342,7 @@ func TestVacuumWindowEviction(t *testing.T) {
 	}
 	// Nothing is reused; advancing the clock beyond the window must
 	// evict everything.
-	removed := h.repo.Vacuum(h.fs, h.driver.Clock+100*time.Hour, time.Hour)
+	removed := h.repo.Vacuum(h.fs, h.driver.Now()+100*time.Hour, time.Hour)
 	if len(removed) == 0 || h.repo.Len() != 0 {
 		t.Errorf("window eviction removed %d, left %d", len(removed), h.repo.Len())
 	}
@@ -505,13 +505,12 @@ func TestAdmitOnlyBeneficial(t *testing.T) {
 	if len(r.Stored) == 0 {
 		t.Fatalf("beneficial candidates were rejected")
 	}
-	d := h.driver
 	cheap := &Entry{Stats: EntryStats{OutputSimBytes: 1 << 40, JobSimTime: time.Millisecond}}
-	if d.beneficial(cheap) {
+	if beneficial(h.eng, cheap) {
 		t.Errorf("a huge output from a cheap job must not be beneficial")
 	}
 	good := &Entry{Stats: EntryStats{OutputSimBytes: 1 << 20, JobSimTime: time.Hour}}
-	if !d.beneficial(good) {
+	if !beneficial(h.eng, good) {
 		t.Errorf("a small output from an expensive job must be beneficial")
 	}
 }
@@ -605,5 +604,68 @@ func TestRewriteReportFields(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("entry %s usage not recorded", ev.EntryID)
+	}
+}
+
+// TestConcurrentWholeJobReuseWithSiblingExecution guards the targeted
+// dependant mutation of the DAG driver: when one root job is reused
+// whole while an independent sibling job is still executing (and having
+// sub-job Stores injected into its plan), the reuse path must not sweep
+// the sibling's plan. A workflow-wide remove/rewrite sweep here races
+// with the sibling's plan mutation and trips -race (or crashes on
+// concurrent map iteration); run in CI under the race detector.
+func TestConcurrentWholeJobReuseWithSiblingExecution(t *testing.T) {
+	const workflow = `
+A = load 'page_views' as (user, timestamp, est_revenue, page_info, page_links);
+B = foreach A generate user;
+C = distinct B;
+alpha = load 'users' as (name, phone, address, city);
+beta = foreach alpha generate name;
+gamma = distinct beta;
+D = union C, gamma;
+E = distinct D;
+store E into 'sib_out';
+`
+	h := newHarness(t, Options{Reuse: true, KeepWholeJobs: true, Heuristic: NoHeuristic})
+	h.driver.Workers = 4
+	h.seedPigMixSmall(t)
+
+	// Warm only the users-side distinct, so on the next run the gamma
+	// job is whole-job reused while the page_views-side distinct (not in
+	// the repository) executes concurrently.
+	h.run(t, `
+alpha = load 'users' as (name, phone, address, city);
+beta = foreach alpha generate name;
+gamma = distinct beta;
+store gamma into 'warm_gamma';
+`)
+
+	want := h.read(t, h.run(t, workflow), "sib_out")
+	if len(want) == 0 {
+		t.Fatal("workflow produced no rows")
+	}
+	for i := 0; i < 5; i++ {
+		// Invalidate the page_views side each round so its distinct job
+		// always re-executes (fresh plan mutation) while gamma's entry
+		// stays valid and is reused whole.
+		h.write(t, "page_views",
+			tuple.Tuple{"alice", int64(1), int64(10), "info", "links"},
+			tuple.Tuple{"bob", int64(2), int64(5), "info", "links"},
+			tuple.Tuple{"alice", int64(3), int64(7), "info", "links"},
+			tuple.Tuple{"carol", int64(4), int64(2), "info", "links"},
+		)
+		r := h.run(t, workflow)
+		if r.JobsReused == 0 {
+			t.Fatalf("round %d: gamma job was not whole-job reused", i)
+		}
+		got := h.read(t, r, "sib_out")
+		if len(got) != len(want) {
+			t.Fatalf("round %d: rows = %v, want %v", i, got, want)
+		}
+		for k := range want {
+			if !tuple.Equal(got[k], want[k]) {
+				t.Errorf("round %d row %d: %v, want %v", i, k, got[k], want[k])
+			}
+		}
 	}
 }

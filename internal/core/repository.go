@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/dfs"
@@ -33,6 +34,13 @@ func (s EntryStats) ioRatio() float64 {
 // produced it, the output's location in the DFS, execution statistics,
 // and usage bookkeeping. Sub-jobs are stored as full, independent
 // MapReduce jobs indistinguishable from whole jobs, as in the paper.
+//
+// Concurrency: Plan, OutputPath, Stats, InputVersions, WholeJob and
+// StoredAt are immutable once the entry is inserted — re-registering the
+// same plan swaps in a fresh Entry value rather than mutating the old
+// one, so concurrent readers holding a stale pointer still see a
+// consistent snapshot. LastReused and TimesReused are mutated only by
+// Repository methods under the repository lock.
 type Entry struct {
 	ID         string
 	Plan       PlanSig
@@ -58,46 +66,110 @@ type Entry struct {
 // that a sequential scan finds the best match first: Rule 1 places
 // subsuming plans ahead of the plans they subsume; Rule 2 orders
 // incomparable plans by input/output ratio and then job execution time.
+//
+// All methods are safe for concurrent use: ReStore sits between many
+// clients and the cluster, and concurrent Execute calls insert, match
+// and evict against one shared repository.
 type Repository struct {
+	mu      sync.RWMutex
 	entries []*Entry
 	nextID  int
 	byFP    map[string]*Entry
+
+	// pinMu guards pins. Lock order: mu before pinMu (Pin is called
+	// from Scan callbacks holding mu's read side; Vacuum checks pins
+	// while holding mu's write side; nothing takes pinMu then mu).
+	pinMu sync.Mutex
+	// pins counts in-flight executions whose rewritten jobs read an
+	// entry's stored output; Vacuum spares pinned entries so another
+	// client's eviction pass cannot delete an output between this
+	// client's rewrite and its engine run.
+	pins map[string]int
 }
 
 // NewRepository returns an empty repository.
 func NewRepository() *Repository {
-	return &Repository{byFP: map[string]*Entry{}}
+	return &Repository{byFP: map[string]*Entry{}, pins: map[string]int{}}
 }
 
 // Len returns the number of entries.
-func (r *Repository) Len() int { return len(r.entries) }
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
 
-// Entries returns the entries in scan order.
-func (r *Repository) Entries() []*Entry { return r.entries }
+// Entries returns a copy of the entries slice in scan order. Callers get
+// their own slice — mutating it cannot corrupt the repository's
+// eviction and matching order.
+func (r *Repository) Entries() []*Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*Entry(nil), r.entries...)
+}
+
+// Scan calls fn for each entry in scan order under the read lock,
+// stopping early when fn returns false. It avoids the per-call copy of
+// Entries for hot paths like the rewriter's sequential scan; fn must not
+// call back into the repository.
+func (r *Repository) Scan(fn func(e *Entry) bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.entries {
+		if !fn(e) {
+			return
+		}
+	}
+}
 
 // Lookup returns the entry whose plan fingerprint equals that of sig,
 // or nil.
 func (r *Repository) Lookup(sig PlanSig) *Entry {
-	return r.byFP[sig.Fingerprint()]
+	fp := sig.Fingerprint()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byFP[fp]
 }
 
 // Insert adds an entry in its ordered position. Inserting a plan whose
 // fingerprint already exists replaces the old entry's statistics and
-// output location instead of duplicating it, and returns the existing
-// entry.
+// output location instead of duplicating it — the replacement is a fresh
+// Entry value carrying over the old identity and usage counters, so
+// readers holding the old pointer are unaffected — and returns the
+// replacement. Replacements are re-sorted: refreshed statistics can
+// change the entry's Rule 2 rank, and the sequential matcher relies on
+// scan order being the preference order.
 func (r *Repository) Insert(e *Entry) *Entry {
 	fp := e.Plan.Fingerprint()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if old := r.byFP[fp]; old != nil {
-		old.OutputPath = e.OutputPath
-		old.Stats = e.Stats
-		old.InputVersions = e.InputVersions
-		old.StoredAt = e.StoredAt
-		return old
+		ne := *old
+		ne.OutputPath = e.OutputPath
+		ne.Stats = e.Stats
+		ne.InputVersions = e.InputVersions
+		ne.StoredAt = e.StoredAt
+		for i, x := range r.entries {
+			if x == old {
+				r.entries = append(r.entries[:i], r.entries[i+1:]...)
+				break
+			}
+		}
+		r.insertOrdered(&ne)
+		r.byFP[fp] = &ne
+		return &ne
 	}
 	r.nextID++
 	if e.ID == "" {
 		e.ID = fmt.Sprintf("e%d", r.nextID)
 	}
+	r.insertOrdered(e)
+	r.byFP[fp] = e
+	return e
+}
+
+// insertOrdered splices e into its Rules 1/2 scan position (mu held).
+func (r *Repository) insertOrdered(e *Entry) {
 	pos := len(r.entries)
 	for i, x := range r.entries {
 		if r.before(e, x) {
@@ -108,8 +180,6 @@ func (r *Repository) Insert(e *Entry) *Entry {
 	r.entries = append(r.entries, nil)
 	copy(r.entries[pos+1:], r.entries[pos:])
 	r.entries[pos] = e
-	r.byFP[fp] = e
-	return e
 }
 
 // before implements the scan-order comparison: Rule 1 (subsumption)
@@ -129,6 +199,8 @@ func (r *Repository) before(a, b *Entry) bool {
 
 // Remove deletes an entry by ID and returns it, or nil.
 func (r *Repository) Remove(id string) *Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for i, e := range r.entries {
 		if e.ID == id {
 			r.entries = append(r.entries[:i], r.entries[i+1:]...)
@@ -141,7 +213,9 @@ func (r *Repository) Remove(id string) *Entry {
 
 // Valid reports whether an entry is usable: its output still exists and
 // none of its inputs were deleted or modified since it was stored
-// (eviction Rule 4's condition, checked at match time).
+// (eviction Rule 4's condition, checked at match time). It reads only
+// the entry's immutable fields and the FS, so it takes no repository
+// lock and is safe to call from Scan callbacks.
 func (r *Repository) Valid(e *Entry, fs *dfs.FS) bool {
 	if !fs.Exists(e.OutputPath) {
 		return false
@@ -159,9 +233,15 @@ func (r *Repository) Valid(e *Entry, fs *dfs.FS) bool {
 // the removed entries; the caller decides whether to also delete their
 // stored outputs from the DFS.
 func (r *Repository) Vacuum(fs *dfs.FS, now time.Duration, window time.Duration) []*Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var removed []*Entry
 	kept := r.entries[:0]
 	for _, e := range r.entries {
+		if r.pinned(e.ID) {
+			kept = append(kept, e)
+			continue
+		}
 		bad := !r.Valid(e, fs)
 		if !bad && window > 0 {
 			last := e.StoredAt
@@ -186,8 +266,39 @@ func (r *Repository) Vacuum(fs *dfs.FS, now time.Duration, window time.Duration)
 // NoteReuse records that an entry's output answered (part of) a query at
 // simulated time now.
 func (r *Repository) NoteReuse(e *Entry, now time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	e.TimesReused++
 	e.LastReused = now
+}
+
+// Pin marks the entry as referenced by an in-flight execution: Vacuum
+// will not remove it (nor let its output be deleted) until a matching
+// Unpin. Pins nest. Safe to call from a Scan callback — the rewriter
+// pins at match time, while still under the scan's read lock, so no
+// vacuum can slip between matching an entry and protecting it.
+func (r *Repository) Pin(id string) {
+	r.pinMu.Lock()
+	defer r.pinMu.Unlock()
+	r.pins[id]++
+}
+
+// Unpin releases one Pin.
+func (r *Repository) Unpin(id string) {
+	r.pinMu.Lock()
+	defer r.pinMu.Unlock()
+	if r.pins[id] <= 1 {
+		delete(r.pins, id)
+	} else {
+		r.pins[id]--
+	}
+}
+
+// pinned reports whether the entry has in-flight references.
+func (r *Repository) pinned(id string) bool {
+	r.pinMu.Lock()
+	defer r.pinMu.Unlock()
+	return r.pins[id] > 0
 }
 
 // gobRepository is the serialized form.
@@ -198,8 +309,11 @@ type gobRepository struct {
 
 // Save persists the repository into the DFS at path.
 func (r *Repository) Save(fs *dfs.FS, path string) error {
+	r.mu.RLock()
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(gobRepository{Entries: r.entries, NextID: r.nextID}); err != nil {
+	err := gob.NewEncoder(&buf).Encode(gobRepository{Entries: r.entries, NextID: r.nextID})
+	r.mu.RUnlock()
+	if err != nil {
 		return fmt.Errorf("core: encoding repository: %w", err)
 	}
 	return fs.WriteFile(path, buf.Bytes())

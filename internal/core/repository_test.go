@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -85,11 +86,19 @@ store B into 'o';
 	if repo.Len() != 1 {
 		t.Fatalf("repo len = %d, want 1 (dedup)", repo.Len())
 	}
-	if first != second {
-		t.Errorf("Insert did not return the existing entry")
+	if first.ID != second.ID {
+		t.Errorf("dedup changed identity: %s vs %s", first.ID, second.ID)
 	}
-	if first.OutputPath != "stored/new" || first.Stats.InputSimBytes != 99 {
-		t.Errorf("dedup did not refresh stats/path: %+v", first)
+	if second.OutputPath != "stored/new" || second.Stats.InputSimBytes != 99 {
+		t.Errorf("dedup did not refresh stats/path: %+v", second)
+	}
+	// The replacement is a fresh value: readers holding the first
+	// pointer keep their consistent snapshot.
+	if first.OutputPath == "stored/new" {
+		t.Errorf("replacement mutated the old entry in place")
+	}
+	if cur := repo.Lookup(second.Plan); cur == nil || cur.OutputPath != "stored/new" {
+		t.Errorf("repository does not serve the refreshed entry: %+v", cur)
 	}
 }
 
@@ -241,4 +250,136 @@ func encodeRows(rows []tuple.Tuple) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+func TestEntriesReturnsCopy(t *testing.T) {
+	// Regression: Entries used to leak the internal slice, letting
+	// callers corrupt the repository's matching and eviction order.
+	repo := NewRepository()
+	a := entryFor(t, `
+A = load 'pv' as (u, r);
+B = foreach A generate u;
+store B into 'o';
+`, "a", EntryStats{InputSimBytes: 100, OutputSimBytes: 10})
+	b := entryFor(t, `
+A = load 'pv' as (u, r);
+B = filter A by r > 1;
+store B into 'o2';
+`, "b", EntryStats{InputSimBytes: 100, OutputSimBytes: 50})
+	repo.Insert(a)
+	repo.Insert(b)
+
+	got := repo.Entries()
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	want0, want1 := got[0].ID, got[1].ID
+
+	// Vandalize the returned slice: the repository must be unaffected.
+	got[0], got[1] = got[1], got[0]
+	got[0] = nil
+
+	again := repo.Entries()
+	if again[0] == nil || again[1] == nil {
+		t.Fatalf("internal slice leaked: repository now holds nil entries")
+	}
+	if again[0].ID != want0 || again[1].ID != want1 {
+		t.Errorf("caller mutation reordered the repository: [%s, %s], want [%s, %s]",
+			again[0].ID, again[1].ID, want0, want1)
+	}
+}
+
+func TestRepositoryConcurrentInsertLookup(t *testing.T) {
+	// Hammer the repository from many goroutines: inserts of colliding
+	// fingerprints, lookups, scans, reuse notes and vacuums must leave a
+	// consistent index (run under -race in CI).
+	repo := NewRepository()
+	fs := dfs.New()
+	sigs := make([]PlanSig, 4)
+	for i := range sigs {
+		e := entryFor(t, fmt.Sprintf(`
+A = load 'pv%d' as (u, r);
+B = foreach A generate u;
+store B into 'o%d';
+`, i, i), fmt.Sprintf("seed%d", i), EntryStats{InputSimBytes: 100, OutputSimBytes: 10})
+		sigs[i] = e.Plan
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g + i) % len(sigs)
+				e := &Entry{
+					Plan:       sigs[k],
+					OutputPath: fmt.Sprintf("stored/g%d/i%d", g, i),
+					Stats:      EntryStats{InputSimBytes: int64(100 + i), OutputSimBytes: 10},
+				}
+				ins := repo.Insert(e)
+				repo.NoteReuse(ins, time.Duration(i))
+				if repo.Lookup(sigs[k]) == nil {
+					t.Errorf("fingerprint vanished after insert")
+					return
+				}
+				repo.Scan(func(*Entry) bool { return true })
+				_ = repo.Entries()
+				_ = repo.Len()
+				if i%50 == 0 {
+					repo.Vacuum(fs, time.Hour, 0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Vacuum drops everything (outputs never existed in fs), proving the
+	// index stayed coherent: no orphaned fingerprints.
+	repo.Vacuum(fs, time.Hour, 0)
+	if repo.Len() != 0 {
+		t.Errorf("repository left %d entries with nonexistent outputs", repo.Len())
+	}
+	for _, s := range sigs {
+		if repo.Lookup(s) != nil {
+			t.Errorf("orphaned fingerprint survived vacuum")
+		}
+	}
+}
+
+func TestPinBlocksVacuum(t *testing.T) {
+	fs := dfs.New()
+	fs.WriteFile("stored/e/part-00000", []byte("x\n"))
+	repo := NewRepository()
+	e := entryFor(t, `
+A = load 'pv' as (u, r);
+B = foreach A generate u;
+store B into 'o';
+`, "", EntryStats{InputSimBytes: 10, OutputSimBytes: 5})
+	e.OutputPath = "stored/e"
+	ins := repo.Insert(e)
+
+	// Pinned: neither the reuse window nor output deletion may evict it.
+	repo.Pin(ins.ID)
+	fs.Delete("stored/e") // makes the entry invalid (Rule 4)...
+	if removed := repo.Vacuum(fs, 100*time.Hour, time.Hour); len(removed) != 0 {
+		t.Fatalf("vacuum removed a pinned entry: %v", removed)
+	}
+	if repo.Len() != 1 {
+		t.Fatalf("pinned entry vanished")
+	}
+
+	// Pins nest: one Unpin of two leaves it protected.
+	repo.Pin(ins.ID)
+	repo.Unpin(ins.ID)
+	if removed := repo.Vacuum(fs, 100*time.Hour, time.Hour); len(removed) != 0 {
+		t.Fatalf("vacuum removed an entry with a remaining pin: %v", removed)
+	}
+
+	// Fully unpinned: ...and is collected on the next pass.
+	repo.Unpin(ins.ID)
+	if removed := repo.Vacuum(fs, 100*time.Hour, time.Hour); len(removed) != 1 {
+		t.Fatalf("unpinned invalid entry survived: %d removed", len(removed))
+	}
+	if repo.Len() != 0 {
+		t.Errorf("repository not empty after unpinned vacuum")
+	}
 }

@@ -8,6 +8,12 @@ import (
 // Rewriter is ReStore's plan matcher and rewriter: for each MapReduce
 // job of an input workflow it scans the repository in order and rewrites
 // the job to read stored outputs instead of recomputing them.
+//
+// The repository scan itself is internally synchronized, but RewriteJob
+// mutates the job's plan in place: the caller must ensure no other
+// goroutine touches the same job (the driver's DAG scheduler does this
+// by rewriting each job under the workflow lock, after all of the job's
+// producers have completed).
 type Rewriter struct {
 	Repo *Repository
 	FS   *dfs.FS
@@ -21,6 +27,10 @@ type RewriteEvent struct {
 	WholeJob  bool
 	OpsBefore int
 	OpsAfter  int
+
+	// entry is the matched repository entry, kept so the driver can
+	// note reuse and unpin without re-scanning the repository by ID.
+	entry *Entry
 }
 
 // RewriteJob rewrites one job in place to reuse repository outputs. It
@@ -50,6 +60,7 @@ func (rw *Rewriter) RewriteJob(job *physical.Job, allowWhole bool) []RewriteEven
 			events = append(events, RewriteEvent{
 				JobID: job.ID, EntryID: res.Entry.ID, Path: res.Entry.OutputPath,
 				WholeJob: true, OpsBefore: before, OpsAfter: job.Plan.Len(),
+				entry: res.Entry,
 			})
 			return events
 		}
@@ -57,33 +68,40 @@ func (rw *Rewriter) RewriteJob(job *physical.Job, allowWhole bool) []RewriteEven
 		events = append(events, RewriteEvent{
 			JobID: job.ID, EntryID: res.Entry.ID, Path: res.Entry.OutputPath,
 			OpsBefore: before, OpsAfter: job.Plan.Len(),
+			entry: res.Entry,
 		})
 	}
 }
 
 // findFirstMatch scans the ordered repository for the first valid entry
 // contained in the job's plan. Because the repository is ordered by
-// Rules 1 and 2 (Section 3), the first match is the best match.
+// Rules 1 and 2 (Section 3), the first match is the best match. The
+// matched entry is pinned before the scan's read lock is released, so
+// a concurrent Vacuum cannot delete its stored output before the
+// rewritten job runs; the driver unpins when the execution finishes.
 func (rw *Rewriter) findFirstMatch(job *physical.Job, allowWhole bool) *MatchResult {
 	jobSig := SigOf(job.Plan)
 	mainStoreInput := -1
 	if st := job.MainStore(); st != nil && len(st.InputIDs) > 0 {
 		mainStoreInput = st.InputIDs[0]
 	}
-	for _, e := range rw.Repo.Entries() {
+	var found *MatchResult
+	rw.Repo.Scan(func(e *Entry) bool {
 		if !rw.Repo.Valid(e, rw.FS) {
-			continue
+			return true
 		}
 		res, ok := matchEntry(e, job.Plan, jobSig, mainStoreInput)
 		if !ok {
-			continue
+			return true
 		}
 		if res.WholePlan && !allowWhole {
-			continue
+			return true
 		}
-		return res
-	}
-	return nil
+		rw.Repo.Pin(e.ID)
+		found = res
+		return false
+	})
+	return found
 }
 
 // applyRewrite replaces the matched region of the plan with a Load of

@@ -39,7 +39,10 @@ type Config struct {
 	RecordScale float64
 	// SplitSize is the simulated input split size (default 128 MiB).
 	SplitSize int64
-	// Parallelism bounds real goroutines running tasks (default NumCPU).
+	// Parallelism bounds real goroutines running tasks (default
+	// NumCPU). The bound is engine-wide: concurrent Run calls — the
+	// driver's DAG scheduler and multiple client queries — share one
+	// pool of task slots instead of each oversubscribing the CPU.
 	Parallelism int
 }
 
@@ -53,10 +56,13 @@ func DefaultConfig() Config {
 	}
 }
 
-// Engine executes jobs against a DFS.
+// Engine executes jobs against a DFS. Run is safe for concurrent use:
+// each call keeps its state on its own stack, and real task goroutines
+// across all in-flight jobs share the engine-wide Parallelism slots.
 type Engine struct {
 	fs  *dfs.FS
 	cfg Config
+	sem chan struct{} // engine-wide task slots
 }
 
 // New returns an engine over fs.
@@ -76,7 +82,7 @@ func New(fs *dfs.FS, cfg Config) *Engine {
 	if cfg.Topology.Workers <= 0 {
 		cfg.Topology = cluster.DefaultTopology()
 	}
-	return &Engine{fs: fs, cfg: cfg}
+	return &Engine{fs: fs, cfg: cfg, sem: make(chan struct{}, cfg.Parallelism)}
 }
 
 // FS returns the engine's file system.
@@ -351,14 +357,13 @@ type mapResult struct {
 func (e *Engine) runMapPhase(job *physical.Job, seg *segmentation, splits []split, numRed int, stats *JobStats) ([]mapResult, error) {
 	results := make([]mapResult, len(splits))
 	errs := make([]error, len(splits))
-	sem := make(chan struct{}, e.cfg.Parallelism)
 	var wg sync.WaitGroup
 	for i := range splits {
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			e.sem <- struct{}{}
+			defer func() { <-e.sem }()
 			results[idx], errs[idx] = e.runMapTask(job, seg, splits[idx], idx, numRed)
 		}(i)
 	}
@@ -469,14 +474,13 @@ func (e *Engine) runReducePhase(job *physical.Job, seg *segmentation, mapResults
 	errs := make([]error, numRed)
 	outs := make([]map[string]OutputStat, numRed)
 	shuffleIn := make([]int64, numRed)
-	sem := make(chan struct{}, e.cfg.Parallelism)
 	var wg sync.WaitGroup
 	for r := 0; r < numRed; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			e.sem <- struct{}{}
+			defer func() { <-e.sem }()
 			var recs []rec
 			for _, mr := range mapResults {
 				recs = append(recs, mr.parts[r]...)

@@ -24,6 +24,38 @@ type Job struct {
 	DependsOn []string
 }
 
+// Clone deep-copies the job: plan structure and dependency list.
+// Expressions inside the plan are shared, as in Plan.Clone.
+func (j *Job) Clone() *Job {
+	return &Job{
+		ID:          j.ID,
+		Plan:        j.Plan.Clone(),
+		OutputPath:  j.OutputPath,
+		NumReducers: j.NumReducers,
+		DependsOn:   append([]string(nil), j.DependsOn...),
+	}
+}
+
+// RemoveDependency strips id from the job's DependsOn list.
+func (j *Job) RemoveDependency(id string) {
+	deps := j.DependsOn[:0]
+	for _, d := range j.DependsOn {
+		if d != id {
+			deps = append(deps, d)
+		}
+	}
+	j.DependsOn = deps
+}
+
+// RewriteLoadPath redirects this job's Loads of oldPath to newPath.
+func (j *Job) RewriteLoadPath(oldPath, newPath string) {
+	for _, op := range j.Plan.Ops() {
+		if op.Kind == KLoad && op.Path == oldPath {
+			op.Path = newPath
+		}
+	}
+}
+
 // InputPaths returns the dataset paths this job loads, sorted.
 func (j *Job) InputPaths() []string {
 	seen := map[string]bool{}
@@ -80,6 +112,25 @@ type Workflow struct {
 	FinalOutputs map[string]string
 }
 
+// Clone deep-copies the workflow. The ReStore driver clones every
+// workflow it executes so that reuse rewrites — which remove jobs and
+// redirect Load paths in place — never mutate the caller's workflow;
+// this makes it safe to hand one compiled workflow to several
+// concurrent Execute calls.
+func (w *Workflow) Clone() *Workflow {
+	c := &Workflow{
+		Jobs:         make([]*Job, len(w.Jobs)),
+		FinalOutputs: make(map[string]string, len(w.FinalOutputs)),
+	}
+	for i, j := range w.Jobs {
+		c.Jobs[i] = j.Clone()
+	}
+	for p, v := range w.FinalOutputs {
+		c.FinalOutputs[p] = v
+	}
+	return c
+}
+
 // Job returns the job with the given ID, or nil.
 func (w *Workflow) Job(id string) *Job {
 	for _, j := range w.Jobs {
@@ -128,8 +179,13 @@ func (w *Workflow) TopoJobs() ([]*Job, error) {
 	return out, nil
 }
 
-// RemoveJob deletes the job with the given ID from the workflow.
-func (w *Workflow) RemoveJob(id string) {
+// DropJob removes the job with the given ID from the Jobs slice
+// without touching any other job. Whole-job reuse composes it with
+// Job.RemoveDependency/RewriteLoadPath on the dropped job's dependants
+// only — there is deliberately no workflow-wide sweep helper, because
+// sweeping would read sibling jobs' plans while their goroutines
+// mutate them.
+func (w *Workflow) DropJob(id string) {
 	out := w.Jobs[:0]
 	for _, j := range w.Jobs {
 		if j.ID != id {
@@ -137,27 +193,6 @@ func (w *Workflow) RemoveJob(id string) {
 		}
 	}
 	w.Jobs = out
-	for _, j := range w.Jobs {
-		deps := j.DependsOn[:0]
-		for _, d := range j.DependsOn {
-			if d != id {
-				deps = append(deps, d)
-			}
-		}
-		j.DependsOn = deps
-	}
-}
-
-// RewriteLoadPaths redirects every Load of oldPath in every job to
-// newPath, used when whole-job reuse replaces a producer job.
-func (w *Workflow) RewriteLoadPaths(oldPath, newPath string) {
-	for _, j := range w.Jobs {
-		for _, op := range j.Plan.Ops() {
-			if op.Kind == KLoad && op.Path == oldPath {
-				op.Path = newPath
-			}
-		}
-	}
 }
 
 // String renders the workflow for debugging.

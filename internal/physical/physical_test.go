@@ -218,18 +218,20 @@ func TestWorkflowTopoAndRemove(t *testing.T) {
 		t.Errorf("topo order = %v", []string{jobs[0].ID, jobs[1].ID, jobs[2].ID})
 	}
 
-	wf.RemoveJob("b")
+	// Whole-job reuse composition: drop b and patch its dependant.
+	wf.DropJob("b")
 	if wf.Job("b") != nil {
 		t.Errorf("job b survived removal")
 	}
 	c := wf.Job("c")
+	c.RemoveDependency("b")
 	for _, d := range c.DependsOn {
 		if d == "b" {
 			t.Errorf("dangling dependency on removed job")
 		}
 	}
 
-	wf.RewriteLoadPaths("in-c", "elsewhere")
+	c.RewriteLoadPath("in-c", "elsewhere")
 	for _, op := range c.Plan.Ops() {
 		if op.Kind == KLoad && op.Path != "elsewhere" {
 			t.Errorf("load path not rewritten: %s", op.Path)
@@ -247,5 +249,45 @@ func TestWorkflowCycleDetected(t *testing.T) {
 	wf := &Workflow{Jobs: []*Job{mk("a", "b"), mk("b", "a")}}
 	if _, err := wf.TopoJobs(); err == nil {
 		t.Errorf("cycle should be detected")
+	}
+}
+
+func TestWorkflowCloneIsIndependent(t *testing.T) {
+	mk := func(id string, deps ...string) *Job {
+		p := NewPlan()
+		ld := p.Add(&Op{Kind: KLoad, Path: "in-" + id})
+		p.Add(&Op{Kind: KStore, Path: "out-" + id, InputIDs: []int{ld.ID}})
+		return &Job{ID: id, Plan: p, OutputPath: "out-" + id, NumReducers: 2, DependsOn: deps}
+	}
+	wf := &Workflow{
+		Jobs:         []*Job{mk("a"), mk("b", "a")},
+		FinalOutputs: map[string]string{"out-b": "out-b"},
+	}
+	c := wf.Clone()
+
+	// Mutations that whole-job reuse applies to the clone must not leak
+	// into the original.
+	c.DropJob("a")
+	cb := c.Job("b")
+	cb.RemoveDependency("a")
+	cb.RewriteLoadPath("in-b", "stored/elsewhere")
+	c.FinalOutputs["out-b"] = "redirected"
+
+	if wf.Job("a") == nil {
+		t.Errorf("DropJob on the clone removed from the original")
+	}
+	if got := wf.Job("b").DependsOn; len(got) != 1 || got[0] != "a" {
+		t.Errorf("clone mutation changed original DependsOn: %v", got)
+	}
+	for _, op := range wf.Job("b").Plan.Ops() {
+		if op.Kind == KLoad && op.Path != "in-b" {
+			t.Errorf("clone RewriteLoadPath leaked into original: %s", op.Path)
+		}
+	}
+	if wf.FinalOutputs["out-b"] != "out-b" {
+		t.Errorf("clone FinalOutputs shares the original map")
+	}
+	if b := c.Job("b"); b.NumReducers != 2 || b.OutputPath != "out-b" {
+		t.Errorf("clone lost job fields: %+v", b)
 	}
 }

@@ -1,0 +1,145 @@
+package restore
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// TestMapReduceResultRecycling ports the scenario of Pig's
+// TestMapReduceResultRecycling (KarthikTunga/pig, the prototype the
+// paper builds on): a client session issues a sequence of queries over
+// one small dataset — first materializing a relation, then filtering it
+// two different ways — and the system must answer every query correctly
+// while recycling the previously produced MapReduce results instead of
+// recomputing them. Assertions cover both the output rows and the
+// JobsRun/JobsReused/Rewrites counters of every step.
+func TestMapReduceResultRecycling(t *testing.T) {
+	sys := newTestSystem(Options{Reuse: true, KeepWholeJobs: true, Heuristic: Conservative})
+	// The Pig fixture: three rows a1/b1/c1.
+	if err := sys.WriteDataset("pi_test1", []Tuple{
+		{"a1", int64(1), int64(1000)},
+		{"b1", int64(2), int64(1000)},
+		{"c1", int64(3), int64(1000)},
+	}); err != nil {
+		t.Fatalf("WriteDataset: %v", err)
+	}
+
+	expectRows := func(t *testing.T, res *Result, out string, want []Tuple) {
+		t.Helper()
+		rows, err := res.Output(out)
+		if err != nil {
+			t.Fatalf("Output(%s): %v", out, err)
+		}
+		rows = sorted(rows)
+		if len(rows) != len(want) {
+			t.Fatalf("%s = %v, want %v", out, rows, want)
+		}
+		for i := range want {
+			if !tuple.Equal(rows[i], want[i]) {
+				t.Errorf("%s row %d = %v, want %v", out, i, rows[i], want[i])
+			}
+		}
+	}
+
+	// Step 1: materialize the relation (Pig's `a = load ...` followed by
+	// dumping it; distinct makes it a real MapReduce job whose result
+	// the repository can recycle). Cold system: one job, nothing reused.
+	r1, err := sys.Execute(`
+a = load 'pi_test1' as (f0, f1, f2);
+b = distinct a;
+store b into 'out_a';
+`)
+	if err != nil {
+		t.Fatalf("step 1: %v", err)
+	}
+	expectRows(t, r1, "out_a", []Tuple{
+		{"a1", int64(1), int64(1000)},
+		{"b1", int64(2), int64(1000)},
+		{"c1", int64(3), int64(1000)},
+	})
+	if r1.JobsRun != 1 || r1.JobsReused != 0 || len(r1.Rewrites) != 0 {
+		t.Errorf("step 1 counters: run=%d reused=%d rewrites=%d, want 1/0/0",
+			r1.JobsRun, r1.JobsReused, len(r1.Rewrites))
+	}
+	if sys.Repository().Len() == 0 {
+		t.Fatalf("step 1 stored nothing to recycle")
+	}
+
+	// Step 2: `b = filter a by $0 eq 'a1'` — the shared prefix must be
+	// recycled from step 1's stored result instead of recomputed.
+	r2, err := sys.Execute(`
+a = load 'pi_test1' as (f0, f1, f2);
+b = distinct a;
+c = filter b by f0 == 'a1';
+store c into 'out_b';
+`)
+	if err != nil {
+		t.Fatalf("step 2: %v", err)
+	}
+	expectRows(t, r2, "out_b", []Tuple{{"a1", int64(1), int64(1000)}})
+	if len(r2.Rewrites) == 0 {
+		t.Errorf("step 2 recycled nothing: %+v", r2.Result)
+	}
+	if r2.JobsRun != 1 || r2.JobsReused != 0 {
+		t.Errorf("step 2 counters: run=%d reused=%d, want 1/0 (final job reruns on recycled input)",
+			r2.JobsRun, r2.JobsReused)
+	}
+
+	// Step 3: `c = filter a by $0 eq 'b1'` — a different filter over the
+	// same prefix; the prefix is recycled again, the filter is not.
+	r3, err := sys.Execute(`
+a = load 'pi_test1' as (f0, f1, f2);
+b = distinct a;
+c = filter b by f0 == 'b1';
+store c into 'out_c';
+`)
+	if err != nil {
+		t.Fatalf("step 3: %v", err)
+	}
+	expectRows(t, r3, "out_c", []Tuple{{"b1", int64(2), int64(1000)}})
+	if len(r3.Rewrites) == 0 {
+		t.Errorf("step 3 recycled nothing: %+v", r3.Result)
+	}
+
+	// Step 4: a two-job workflow (distinct, then group) run twice: the
+	// second run must reuse the whole intermediate distinct job and run
+	// only the final job.
+	twoJob := `
+a = load 'pi_test1' as (f0, f1, f2);
+b = foreach a generate f0;
+d = distinct b;
+g = group d by f0;
+s = foreach g generate group, COUNT(d);
+store s into 'out_d';
+`
+	r4, err := sys.Execute(twoJob)
+	if err != nil {
+		t.Fatalf("step 4: %v", err)
+	}
+	wantCounts := []Tuple{
+		{"a1", int64(1)}, {"b1", int64(1)}, {"c1", int64(1)},
+	}
+	expectRows(t, r4, "out_d", wantCounts)
+	if r4.JobsRun != 2 {
+		t.Fatalf("step 4 ran %d jobs, want 2", r4.JobsRun)
+	}
+
+	r5, err := sys.Execute(twoJob)
+	if err != nil {
+		t.Fatalf("step 5: %v", err)
+	}
+	expectRows(t, r5, "out_d", wantCounts)
+	if r5.JobsReused != 1 {
+		t.Errorf("step 5 reused %d whole jobs, want 1 (the distinct job)", r5.JobsReused)
+	}
+	if r5.JobsRun != 1 {
+		t.Errorf("step 5 ran %d jobs, want 1 (the final group job)", r5.JobsRun)
+	}
+	if len(r5.Rewrites) == 0 {
+		t.Errorf("step 5 applied no rewrites")
+	}
+	if r5.SimTime >= r4.SimTime {
+		t.Errorf("recycling did not reduce simulated time: %v vs %v", r5.SimTime, r4.SimTime)
+	}
+}

@@ -22,11 +22,45 @@
 // Options.Reuse, pick a sub-job materialization heuristic, and repeated
 // or overlapping queries get rewritten to read previously stored
 // results instead of recomputing them.
+//
+// # Concurrency model
+//
+// A System serves many clients at once: Execute (and Compile,
+// WriteDataset, ReadDataset) may be called concurrently from any number
+// of goroutines against one System. Three layers make this safe:
+//
+//   - DAG scheduling. Within one workflow, jobs are scheduled over the
+//     dependency DAG: independent jobs run concurrently on a bounded
+//     worker pool (Config.WorkflowWorkers, default NumCPU), and a job
+//     starts only after every job it depends on completed. The
+//     simulated time still comes from the paper's Equation 1 (critical
+//     path over the DAG), so concurrency changes wall time only.
+//
+//   - Locking discipline. The repository of stored job outputs is
+//     internally synchronized (entries are immutable once inserted;
+//     re-registration swaps in fresh entries); the DFS is safe for
+//     concurrent use; the driver's simulated clock and query counter
+//     are atomic. Workflow structures are never shared: every Execute
+//     clones its compiled workflow, and within one execution all
+//     whole-job-reuse mutations (dropping a job, redirecting its
+//     dependants' loads) happen under a per-execution workflow lock,
+//     before the affected dependants start.
+//
+//   - Reconfiguration. SetOptions, SetScales, SetSimScale and
+//     LoadRepository take a write lock that waits for in-flight
+//     Execute calls to drain, so options and engines never change under
+//     a running query.
+//
+// Concurrent queries writing the same user STORE path race on the DFS
+// (as they would on HDFS); give concurrent clients distinct output
+// paths.
 package restore
 
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -90,6 +124,12 @@ type Config struct {
 	// DefaultReducers is the reduce parallelism for statements without
 	// a PARALLEL clause (default: the cluster's reduce slots).
 	DefaultReducers int
+	// WorkflowWorkers bounds how many MapReduce jobs of one workflow
+	// run concurrently (independent jobs of the DAG only; dependencies
+	// are always respected). Zero means NumCPU; 1 forces the serial
+	// execution order of stock Pig. Simulated times are identical at
+	// any setting.
+	WorkflowWorkers int
 	// Options configures ReStore (reuse off by default: the engine then
 	// behaves like stock Pig/Hadoop).
 	Options Options
@@ -109,14 +149,21 @@ func DefaultConfig() Config {
 }
 
 // System is a live instance: a DFS, a MapReduce engine, a repository of
-// stored job outputs, and the ReStore driver.
+// stored job outputs, and the ReStore driver. Execute may be called
+// concurrently from many goroutines; see the package comment for the
+// concurrency model.
 type System struct {
+	// mu serializes reconfiguration (SetOptions, SetScales,
+	// LoadRepository) against in-flight Execute calls: executions hold
+	// the read side for their full duration, reconfiguration takes the
+	// write side.
+	mu     sync.RWMutex
 	fs     *dfs.FS
 	eng    *mapreduce.Engine
 	repo   *core.Repository
 	driver *core.Driver
 	cfg    Config
-	nquery int
+	nquery atomic.Int64
 }
 
 // New creates a System.
@@ -140,11 +187,13 @@ func New(cfg Config) *System {
 		SplitSize:   cfg.SplitSize,
 	})
 	repo := core.NewRepository()
+	driver := core.NewDriver(eng, repo, cfg.Options)
+	driver.Workers = cfg.WorkflowWorkers
 	return &System{
 		fs:     fs,
 		eng:    eng,
 		repo:   repo,
-		driver: core.NewDriver(eng, repo, cfg.Options),
+		driver: driver,
 		cfg:    cfg,
 	}
 }
@@ -153,13 +202,26 @@ func New(cfg Config) *System {
 func (s *System) FS() *dfs.FS { return s.fs }
 
 // Repository exposes the ReStore repository.
-func (s *System) Repository() *core.Repository { return s.repo }
+func (s *System) Repository() *core.Repository {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.repo
+}
 
 // Options returns the current ReStore options.
-func (s *System) Options() Options { return s.driver.Opts }
+func (s *System) Options() Options {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.driver.Opts
+}
 
-// SetOptions reconfigures ReStore for subsequent Execute calls.
-func (s *System) SetOptions(opts Options) { s.driver.Opts = opts }
+// SetOptions reconfigures ReStore for subsequent Execute calls. It
+// waits for in-flight executions to drain.
+func (s *System) SetOptions(opts Options) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.driver.Opts = opts
+}
 
 // SetSimScale adjusts the byte scale-up of the simulated clock; useful
 // after loading data, to size it to a target simulated volume.
@@ -168,8 +230,11 @@ func (s *System) SetSimScale(scale float64) {
 }
 
 // SetScales adjusts the byte and record scale-up factors of the
-// simulated clock independently.
+// simulated clock independently. It waits for in-flight executions to
+// drain before swapping the engine.
 func (s *System) SetScales(simScale, recordScale float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	cfg := s.eng.Config()
 	cfg.SimScale = simScale
 	cfg.RecordScale = recordScale
@@ -218,16 +283,20 @@ func (s *System) ReadDataset(path string) ([]Tuple, error) {
 // so a later session (LoadRepository) can keep reusing this session's
 // stored outputs.
 func (s *System) SaveRepository(path string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.repo.Save(s.fs, path)
 }
 
 // LoadRepository replaces the current repository with one previously
-// saved at path.
+// saved at path. It waits for in-flight executions to drain.
 func (s *System) LoadRepository(path string) error {
 	repo, err := core.LoadRepository(s.fs, path)
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.repo = repo
 	s.driver.Repo = repo
 	return nil
@@ -253,8 +322,7 @@ func (r *Result) Output(userPath string) ([]Tuple, error) {
 // the workflow's job count — useful for inspecting how a query maps to
 // MapReduce jobs.
 func (s *System) Compile(script string) (int, error) {
-	s.nquery++
-	wf, err := s.compile(script, fmt.Sprintf("tmp/c%d", s.nquery))
+	wf, err := s.compile(script, fmt.Sprintf("tmp/c%d", s.nquery.Add(1)))
 	if err != nil {
 		return 0, err
 	}
@@ -278,14 +346,16 @@ func (s *System) compile(script, tempPrefix string) (*physical.Workflow, error) 
 }
 
 // Execute parses, compiles, and runs a Pig Latin script through the
-// ReStore pipeline.
+// ReStore pipeline. It is safe to call from many goroutines at once;
+// each call gets a unique query ID and private temp-path namespace.
 func (s *System) Execute(script string) (*Result, error) {
-	s.nquery++
-	qid := fmt.Sprintf("q%d", s.nquery)
+	qid := fmt.Sprintf("q%d", s.nquery.Add(1))
 	wf, err := s.compile(script, "tmp/"+qid)
 	if err != nil {
 		return nil, err
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	res, err := s.driver.Execute(wf, qid)
 	if err != nil {
 		return nil, err
