@@ -7,14 +7,18 @@
 //	experiments               # run everything (takes a few minutes)
 //	experiments -run fig9     # one experiment: fig9..fig17, table1, table2
 //	experiments -parallel 4   # run selected experiments concurrently
+//	experiments -timeout 10m  # abort if the selection takes longer
 //	experiments -o results.txt
 //
 // Each experiment builds its own System, DFS and repository, so with
-// -parallel N independent experiments run concurrently; reports are
-// still printed in the requested order.
+// -parallel N independent experiments run concurrently; the sub-job
+// experiments (figures 10-14, table 1) share one synthetic study in
+// every mode, so parallel runs measure each configuration exactly once.
+// Reports are printed in the requested order regardless of mode.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,24 +29,11 @@ import (
 	"repro/internal/exp"
 )
 
-var runners = map[string]func() (*exp.Report, error){
-	"fig9":   exp.Figure9,
-	"fig10":  exp.Figure10,
-	"fig11":  exp.Figure11,
-	"fig12":  exp.Figure12,
-	"fig13":  exp.Figure13,
-	"fig14":  exp.Figure14,
-	"fig15":  exp.Figure15,
-	"fig16":  exp.Figure16,
-	"fig17":  exp.Figure17,
-	"table1": exp.Table1,
-	"table2": exp.Table2,
-}
-
 func main() {
 	runFlag := flag.String("run", "all", "experiment to run: all, or one of fig9..fig17, table1, table2 (comma-separated)")
 	outFlag := flag.String("o", "", "also write the report to this file")
 	parFlag := flag.Int("parallel", 1, "experiments to run concurrently (each has its own System)")
+	timeoutFlag := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	flag.Parse()
 
 	start := time.Now()
@@ -51,19 +42,14 @@ func main() {
 		par = 1
 	}
 
-	if *runFlag == "all" && par == 1 {
-		// Serial "all" shares one synthetic study across figures 10-14.
-		all, err := exp.All()
-		if err != nil {
-			fail(err)
-		}
-		emit(all, start, *outFlag)
-		return
-	}
+	// One shared, concurrency-safe study for every mode: serial and
+	// parallel runs measure each (scale, heuristic, query) configuration
+	// exactly once.
+	runners := exp.Runners(exp.NewStudy())
 
 	var names []string
 	if *runFlag == "all" {
-		names = append(names, canonicalOrder...)
+		names = append(names, exp.Order...)
 	} else {
 		for _, name := range strings.Split(*runFlag, ",") {
 			name = strings.TrimSpace(strings.ToLower(name))
@@ -74,6 +60,13 @@ func main() {
 		}
 	}
 
+	ctx := context.Background()
+	if *timeoutFlag > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeoutFlag)
+		defer cancel()
+	}
+
 	reports := make([]*exp.Report, len(names))
 	errs := make([]error, len(names))
 	sem := make(chan struct{}, par)
@@ -82,39 +75,35 @@ func main() {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = fmt.Errorf("%s: %w", name, ctx.Err())
+				return
+			}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				errs[i] = fmt.Errorf("%s: %w", name, ctx.Err())
+				return
+			}
 			reports[i], errs[i] = runners[name]()
 		}(i, name)
 	}
-	wg.Wait()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// In-flight experiments cannot be interrupted mid-measurement;
+		// report the timeout rather than hanging indefinitely.
+		fail(fmt.Errorf("timed out after %v", *timeoutFlag))
+	}
 	for _, err := range errs {
 		if err != nil {
 			fail(err)
 		}
 	}
 	emit(reports, start, *outFlag)
-}
-
-// canonicalOrder is the paper's presentation order, used for
-// -parallel runs of "all" (the serial path goes through exp.All).
-var canonicalOrder = []string{
-	"fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-	"table1", "fig15", "table2", "fig16", "fig17",
-}
-
-// init guards against canonicalOrder drifting from the runners map
-// when experiments are added: "-run all -parallel N" must cover the
-// same set as serial "-run all".
-func init() {
-	if len(canonicalOrder) != len(runners) {
-		panic(fmt.Sprintf("canonicalOrder has %d experiments, runners has %d", len(canonicalOrder), len(runners)))
-	}
-	for _, name := range canonicalOrder {
-		if _, ok := runners[name]; !ok {
-			panic("canonicalOrder names unknown experiment " + name)
-		}
-	}
 }
 
 func emit(reports []*exp.Report, start time.Time, outPath string) {

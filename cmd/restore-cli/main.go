@@ -7,13 +7,18 @@
 //	restore-cli -query L3                     # run a PigMix query once
 //	restore-cli -query L3 -repeat 3 -reuse -heuristic aggressive
 //	restore-cli -script myquery.pig -reuse    # run a script from a file
+//	restore-cli -timeout 30s -query L5        # cancel runs exceeding 30s
 //	restore-cli -list                         # list PigMix queries
 //
 // Repeated runs share one repository, so with -reuse the second and
-// later runs demonstrate ReStore's rewrites.
+// later runs demonstrate ReStore's rewrites. Every run is submitted
+// through the query-handle API with per-query options; -timeout bounds
+// each run with a context deadline, aborting its remaining jobs.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,16 +31,19 @@ import (
 
 func main() {
 	var (
-		queryFlag  = flag.String("query", "", "PigMix query name (L2..L8, L11, variants)")
-		scriptFlag = flag.String("script", "", "path to a Pig Latin script file")
-		scaleFlag  = flag.String("scale", "15GB", "PigMix instance: 15GB or 150GB")
-		repeatFlag = flag.Int("repeat", 1, "number of times to run the query")
-		reuseFlag  = flag.Bool("reuse", false, "enable plan matching and rewriting")
-		heurFlag   = flag.String("heuristic", "off", "sub-job heuristic: off, conservative, aggressive, no-heuristic")
-		wholeFlag  = flag.Bool("whole-jobs", true, "store whole job outputs in the repository")
-		listFlag   = flag.Bool("list", false, "list available PigMix queries and exit")
-		printFlag  = flag.Bool("print", false, "print up to 20 output rows")
-		workerFlag = flag.Int("workers", 0, "concurrent jobs per workflow DAG (0 = NumCPU, 1 = serial)")
+		queryFlag   = flag.String("query", "", "PigMix query name (L2..L8, L11, variants)")
+		scriptFlag  = flag.String("script", "", "path to a Pig Latin script file")
+		scaleFlag   = flag.String("scale", "15GB", "PigMix instance: 15GB or 150GB")
+		repeatFlag  = flag.Int("repeat", 1, "number of times to run the query")
+		reuseFlag   = flag.Bool("reuse", false, "enable plan matching and rewriting")
+		heurFlag    = flag.String("heuristic", "off", "sub-job heuristic: off, conservative, aggressive, no-heuristic")
+		wholeFlag   = flag.Bool("whole-jobs", true, "store whole job outputs in the repository")
+		listFlag    = flag.Bool("list", false, "list available PigMix queries and exit")
+		printFlag   = flag.Bool("print", false, "print up to 20 output rows")
+		workerFlag  = flag.Int("workers", 0, "concurrent jobs per workflow DAG (0 = NumCPU, 1 = serial)")
+		maxJobsFlag = flag.Int("max-cluster-jobs", 0, "global cap on jobs running across all queries (0 = unlimited)")
+		timeoutFlag = flag.Duration("timeout", 0, "per-run deadline; a run exceeding it is cancelled (0 = none)")
+		tagFlag     = flag.String("tag", "", "label attached to each submitted query")
 	)
 	flag.Parse()
 
@@ -77,12 +85,7 @@ func main() {
 	}
 
 	cfg := restore.DefaultConfig()
-	cfg.WorkflowWorkers = *workerFlag
-	cfg.Options = restore.Options{
-		Reuse:         *reuseFlag,
-		Heuristic:     heur,
-		KeepWholeJobs: *wholeFlag,
-	}
+	cfg.MaxClusterJobs = *maxJobsFlag
 	sys := restore.New(cfg)
 	fmt.Printf("generating PigMix %s instance…\n", scale.Name)
 	if _, err := pigmix.Generate(sys.FS(), scale, 1); err != nil {
@@ -90,9 +93,33 @@ func main() {
 	}
 	sys.SetScales(pigmix.SimScaleFor(sys.FS(), scale), pigmix.RecordScaleFor(scale))
 
+	// Reuse policy and worker bound are per-query options on each
+	// submission, not global state: concurrent clients of one System
+	// could each pass their own.
+	execOpts := []restore.ExecOption{
+		restore.WithOptions(restore.Options{
+			Reuse:         *reuseFlag,
+			Heuristic:     heur,
+			KeepWholeJobs: *wholeFlag,
+		}),
+		restore.WithWorkers(*workerFlag),
+	}
+	if *tagFlag != "" {
+		execOpts = append(execOpts, restore.WithTag(*tagFlag))
+	}
+
 	for i := 0; i < *repeatFlag; i++ {
-		res, err := sys.Execute(script)
+		ctx := context.Background()
+		var cancel context.CancelFunc = func() {}
+		if *timeoutFlag > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeoutFlag)
+		}
+		res, err := sys.ExecuteContext(ctx, script, execOpts...)
+		cancel()
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				fail(fmt.Errorf("run %d cancelled after %v: %w", i+1, *timeoutFlag, err))
+			}
 			fail(err)
 		}
 		fmt.Printf("run %d: simulated %v on the 15-node cluster  (jobs run %d, reused %d, rewrites %d, stored %d entries)\n",

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -47,6 +48,7 @@ func main() {
 		KeepWholeJobs:  true,
 		EvictionWindow: 24 * time.Hour, // drop entries unused for a simulated day
 	}
+	cfg.MaxClusterJobs = 8 // global admission across concurrent refreshes
 	sys := restore.New(cfg)
 	if _, err := pigmix.Generate(sys.FS(), pigmix.Scale15GB, 3); err != nil {
 		log.Fatal(err)
@@ -70,13 +72,32 @@ func main() {
 	fmt.Println("stale entries were not reused (inputs changed), fresh ones stored")
 }
 
+// runAll submits every dashboard at once — one tagged query each — then
+// awaits them, reporting per-job lifecycle states from the handles. A
+// refresh taking longer than a minute is cancelled by the context.
 func runAll(sys *restore.System, names []string) {
-	for _, name := range names {
-		res, err := sys.Execute(dashboards[name])
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	queries := make([]*restore.Query, len(names))
+	for i, name := range names {
+		q, err := sys.Submit(ctx, dashboards[name], restore.WithTag(name))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-22s %8v simulated  (rewrites %d, stored %d, repo %d entries)\n",
-			name, res.SimTime.Round(time.Second), len(res.Rewrites), len(res.Stored), sys.Repository().Len())
+		queries[i] = q
+	}
+	for i, q := range queries {
+		res, err := q.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := q.Status()
+		states := map[restore.JobState]int{}
+		for _, s := range st.Jobs {
+			states[s]++
+		}
+		fmt.Printf("%-22s %8v simulated  (jobs done %d, reused %d; rewrites %d, stored %d, repo %d entries)\n",
+			names[i], res.SimTime.Round(time.Second), states[restore.JobDone], states[restore.JobReused],
+			len(res.Rewrites), len(res.Stored), sys.Repository().Len())
 	}
 }

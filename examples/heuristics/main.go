@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -27,25 +28,26 @@ func main() {
 
 	for _, h := range []restore.Heuristic{restore.Conservative, restore.Aggressive, restore.NoHeuristic} {
 		sys := restore.New(restore.DefaultConfig())
+		ctx := context.Background()
 		if _, err := pigmix.Generate(sys.FS(), pigmix.Scale15GB, 5); err != nil {
 			log.Fatal(err)
 		}
 		sys.SetScales(pigmix.SimScaleFor(sys.FS(), pigmix.Scale15GB), pigmix.RecordScaleFor(pigmix.Scale15GB))
 
+		// Each phase picks its policy per query — the System's defaults
+		// never change, so other clients would be unaffected.
 		// Baseline (no ReStore).
-		base, err := sys.Execute(q.Script)
+		base, err := sys.ExecuteContext(ctx, q.Script)
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Generating run: materialize sub-jobs.
-		sys.SetOptions(restore.Options{Heuristic: h})
-		gen, err := sys.Execute(q.Script)
+		// Generating run: materialize sub-jobs per the heuristic.
+		gen, err := sys.ExecuteContext(ctx, q.Script, restore.WithHeuristic(h))
 		if err != nil {
 			log.Fatal(err)
 		}
 		// Reuse run: rewrite against the warm repository.
-		sys.SetOptions(restore.Options{Reuse: true})
-		reuse, err := sys.Execute(q.Script)
+		reuse, err := sys.ExecuteContext(ctx, q.Script, restore.WithOptions(restore.Options{Reuse: true}))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,11 @@
+-- Quickstart script for restore-cli: project page_views, aggregate
+-- revenue per user. Run it against the generated PigMix instance:
+--
+--   restore-cli -script examples/quickstart.pig -reuse -repeat 2
+--
+-- The second run reuses the first run's stored outputs.
+A = load 'pigmix/page_views' as (user, action, timespent, query_term, ip_addr, timestamp, estimated_revenue, page_info, page_links);
+B = foreach A generate user, estimated_revenue;
+G = group B by user;
+S = foreach G generate group, SUM(B.estimated_revenue);
+store S into 'quickstart_out';

@@ -1,11 +1,15 @@
 // Quickstart: load a small dataset, run a Pig Latin query on the
 // embedded MapReduce engine, and read the result — with ReStore off.
-// This is the minimal end-to-end use of the public API.
+// This is the minimal end-to-end use of the public API: a bounded
+// synchronous run (ExecuteContext with a deadline); see the dashboard
+// example for the asynchronous Submit/Status side.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 )
@@ -26,7 +30,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := sys.Execute(`
+	// A deadline bounds the query: if the workflow were still running
+	// after a minute, its remaining jobs would be cancelled and the
+	// error below would be context.DeadlineExceeded.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := sys.ExecuteContext(ctx, `
 A = load 'clicks' as (user, page, seconds);
 B = filter A by seconds >= 5;
 C = group B by user;

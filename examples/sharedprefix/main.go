@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,9 +35,11 @@ store E into 'L3_out';
 `
 
 func main() {
-	cfg := restore.DefaultConfig()
-	cfg.Options = restore.Options{Reuse: true, KeepWholeJobs: true}
-	sys := restore.New(cfg)
+	// The System's default config leaves ReStore off; each query opts
+	// into its own policy at submission time.
+	sys := restore.New(restore.DefaultConfig())
+	ctx := context.Background()
+	reuse := restore.WithOptions(restore.Options{Reuse: true, KeepWholeJobs: true})
 
 	if _, err := pigmix.Generate(sys.FS(), pigmix.Scale15GB, 7); err != nil {
 		log.Fatal(err)
@@ -44,7 +47,7 @@ func main() {
 	sys.SetScales(pigmix.SimScaleFor(sys.FS(), pigmix.Scale15GB), pigmix.RecordScaleFor(pigmix.Scale15GB))
 
 	fmt.Println("running Q1 (join only)…")
-	r1, err := sys.Execute(q1)
+	r1, err := sys.ExecuteContext(ctx, q1, reuse)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +55,7 @@ func main() {
 		r1.JobsRun, r1.SimTime.Round(r1.SimTime/100+1), len(r1.Stored))
 
 	fmt.Println("running Q2 (same join + aggregation)…")
-	r2, err := sys.Execute(q2)
+	r2, err := sys.ExecuteContext(ctx, q2, reuse)
 	if err != nil {
 		log.Fatal(err)
 	}

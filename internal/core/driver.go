@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,6 +12,64 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/physical"
 )
+
+// JobState is the lifecycle of one MapReduce job within an executing
+// query, observable through the query handle's Status.
+type JobState int
+
+const (
+	// JobPending: the job has not been dispatched (its dependencies
+	// have not completed, or the workflow was cancelled first).
+	JobPending JobState = iota
+	// JobRunning: the job is being matched, rewritten and executed.
+	JobRunning
+	// JobReused: the whole job was answered from the repository and
+	// never ran.
+	JobReused
+	// JobDone: the job executed to completion.
+	JobDone
+	// JobFailed: the job's execution returned an error.
+	JobFailed
+	// JobCanceled: the job was aborted by context cancellation after it
+	// started.
+	JobCanceled
+)
+
+// String renders the state for logs and status displays.
+func (s JobState) String() string {
+	switch s {
+	case JobPending:
+		return "pending"
+	case JobRunning:
+		return "running"
+	case JobReused:
+		return "reused"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("JobState(%d)", int(s))
+}
+
+// ExecConfig is the immutable per-execution configuration snapshot the
+// driver works from: the query-handle API captures it at submission
+// time, so reconfiguring the shared defaults (or submitting other
+// queries with different options) never changes a query mid-flight.
+type ExecConfig struct {
+	// Opts is this execution's ReStore configuration.
+	Opts Options
+	// Workers bounds how many of this workflow's jobs run concurrently;
+	// zero or negative means runtime.NumCPU().
+	Workers int
+	// OnJobState, when non-nil, receives every job lifecycle transition
+	// (running, reused, done, failed, canceled). It is called
+	// synchronously from scheduler goroutines and must not block for
+	// long or call back into the driver.
+	OnJobState func(jobID string, state JobState)
+}
 
 // Options configure a Driver. The two independent switches mirror the
 // paper's experiments: Reuse turns the plan matcher and rewriter on, and
@@ -100,6 +159,13 @@ type Driver struct {
 	// changes).
 	Workers int
 
+	// Admission, when non-nil, is the cross-query job-admission
+	// semaphore: every job of every concurrent execution holds one slot
+	// while it runs, capping total cluster jobs under high fan-in. Set
+	// it once at construction; it must not be reassigned while Execute
+	// calls are in flight.
+	Admission chan struct{}
+
 	// clock accumulates simulated nanoseconds across executions; it
 	// drives the reuse-window eviction rule.
 	clock atomic.Int64
@@ -134,21 +200,50 @@ type jobOutcome struct {
 	deps        []string
 	stored      []*Entry
 	extraBytes  int64
+	// deferred is the whole-job entry of a job whose primary output is
+	// staged: it is inserted only after the output is renamed into its
+	// user-visible place, so the repository never references data that
+	// has not been committed.
+	deferred *Entry
 }
 
 // Execute runs a workflow through the full ReStore pipeline and returns
-// its report. queryID must be unique per execution; pass "" to
-// auto-generate. The caller's workflow is never mutated: Execute clones
+// its report, using the driver's shared Opts and Workers and no
+// cancellation. It is the synchronous compatibility wrapper over
+// ExecuteContext. queryID must be unique per execution; pass "" to
+// auto-generate.
+func (d *Driver) Execute(wf *physical.Workflow, queryID string) (*Result, error) {
+	return d.ExecuteContext(context.Background(), wf, queryID, ExecConfig{Opts: d.Opts, Workers: d.Workers})
+}
+
+// ExecuteContext runs a workflow through the full ReStore pipeline
+// under ctx with a per-execution configuration snapshot, and returns
+// its report. The caller's workflow is never mutated: the driver clones
 // it, so one compiled workflow may be executed repeatedly or from
 // several goroutines at once.
-func (d *Driver) Execute(wf *physical.Workflow, queryID string) (*Result, error) {
+//
+// Cancelling ctx (or exceeding its deadline) aborts the workflow
+// promptly: jobs that have not started stay pending forever, in-flight
+// jobs abort at the engine's next task-slot acquisition and release
+// their slots, and ExecuteContext returns ctx.Err(). Cancellation
+// leaves the repository consistent — no entry is ever registered for a
+// job that did not run to completion — and leaves user STORE outputs
+// untouched: each query's final outputs are written under its private
+// temp namespace and renamed into place only when the whole workflow
+// commits, so a cancelled (or failed) query publishes nothing and two
+// queries storing to the same path cannot interleave part files.
+func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, queryID string, cfg ExecConfig) (*Result, error) {
 	start := time.Now()
 	if queryID == "" {
 		queryID = fmt.Sprintf("q%d", d.queryCounter.Add(1))
 	}
-	opts := d.Opts
+	opts := cfg.Opts
 	eng := d.Engine
 	repo := d.Repo
+	notify := cfg.OnJobState
+	if notify == nil {
+		notify = func(string, JobState) {}
+	}
 	wf = wf.Clone()
 
 	res := &Result{QueryID: queryID, FinalOutputs: map[string]string{}}
@@ -172,6 +267,37 @@ func (d *Driver) Execute(wf *physical.Workflow, queryID string) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
+
+	// Stage user STORE outputs: each final job writes under the query's
+	// private temp namespace, and the staged dataset is renamed into its
+	// user-visible place only when the whole workflow commits. finalJob
+	// remembers which jobs write a user output (by ID, since their
+	// OutputPath now points at the stage), and staged maps each stage
+	// path back to the user path for the commit and for re-keying
+	// JobStats.Outputs.
+	finalJob := make(map[string]string, len(wf.FinalOutputs)) // job ID -> user path
+	staged := make(map[string]string, len(wf.FinalOutputs))   // stage path -> user path
+	for _, job := range jobs {
+		user := job.OutputPath
+		if _, ok := wf.FinalOutputs[user]; !ok {
+			continue
+		}
+		stage := "tmp/" + queryID + "/.staged/" + user
+		for _, op := range job.Plan.Ops() {
+			if op.Kind == physical.KStore && op.Path == user {
+				op.Path = stage
+			}
+		}
+		job.OutputPath = stage
+		finalJob[job.ID] = user
+		staged[stage] = user
+		for _, other := range jobs {
+			if other != job {
+				other.RewriteLoadPath(user, stage)
+			}
+		}
+	}
+
 	slot := make(map[string]int, len(jobs))
 	for i, j := range jobs {
 		slot[j.ID] = i
@@ -207,10 +333,14 @@ func (d *Driver) Execute(wf *physical.Workflow, queryID string) (*Result, error)
 	var wfMu sync.Mutex
 
 	process := func(job *physical.Job) error {
+		if err := ctx.Err(); err != nil {
+			return err // cancelled before dispatch: the job stays pending
+		}
 		out := &outcomes[slot[job.ID]]
+		notify(job.ID, JobRunning)
 
 		wfMu.Lock()
-		_, isFinal := wf.FinalOutputs[job.OutputPath]
+		_, isFinal := finalJob[job.ID]
 		if opts.Reuse {
 			events := rewriter.RewriteJob(job, !isFinal)
 			for _, ev := range events {
@@ -228,6 +358,7 @@ func (d *Driver) Execute(wf *physical.Workflow, queryID string) (*Result, error)
 				}
 				out.reusedWhole = true
 				wfMu.Unlock()
+				notify(job.ID, JobReused)
 				return nil
 			}
 		}
@@ -243,21 +374,60 @@ func (d *Driver) Execute(wf *physical.Workflow, queryID string) (*Result, error)
 
 		candidates := enum.Enumerate(job)
 
-		stats, err := eng.Run(job)
+		stats, err := eng.RunContext(ctx, job)
 		if err != nil {
+			if ctx.Err() != nil {
+				notify(job.ID, JobCanceled)
+			} else {
+				notify(job.ID, JobFailed)
+			}
 			return fmt.Errorf("core: executing %s/%s: %w", queryID, job.ID, err)
 		}
 		out.stats = stats
-		out.stored, out.extraBytes = d.register(opts, eng, repo, job, cleanPlan, candidates, stats)
+		out.stored, out.deferred, out.extraBytes = d.register(opts, eng, repo, job, cleanPlan, candidates, stats, finalJob[job.ID])
+		notify(job.ID, JobDone)
 		return nil
 	}
 
-	workers := d.Workers
+	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if err := runDAG(jobs, workers, process); err != nil {
+	if err := runDAG(ctx, jobs, workers, d.Admission, process); err != nil {
+		// Abort: discard staged outputs so a cancelled or failed query
+		// publishes nothing (user paths keep whatever they held before).
+		for stage := range staged {
+			_ = eng.FS().Delete(stage)
+		}
 		return nil, err
+	}
+
+	// Commit: atomically rename each staged user output into place.
+	// Renames serialize on the DFS lock, so concurrent queries storing
+	// to one path leave it holding exactly one query's complete dataset.
+	committedVer := make(map[string]int64, len(staged)) // user path -> version
+	for stage, user := range staged {
+		v, err := eng.FS().Rename(stage, user)
+		if err != nil {
+			return nil, fmt.Errorf("core: committing %s output %s: %w", queryID, user, err)
+		}
+		committedVer[user] = v
+	}
+	// Re-key per-job output statistics from stage paths to the user
+	// paths callers (and the experiment harness) look up.
+	if len(staged) > 0 {
+		for i := range outcomes {
+			st := outcomes[i].stats
+			if st == nil {
+				continue
+			}
+			for stage, user := range staged {
+				if o, ok := st.Outputs[stage]; ok {
+					delete(st.Outputs, stage)
+					st.Outputs[user] = o
+				}
+			}
+		}
 	}
 
 	// Merge per-job outcomes in topological order so Rewrites, Stored
@@ -275,6 +445,15 @@ func (d *Driver) Execute(wf *physical.Workflow, queryID string) (*Result, error)
 		res.JobsRun++
 		jobTimes[job.ID] = out.stats.SimTime
 		jobDeps[job.ID] = out.deps
+		if out.deferred != nil {
+			// The job's user output is committed now; its whole-job
+			// entry (pointing at the user path) becomes registrable,
+			// bound to exactly the dataset version this query's rename
+			// produced: an overwrite by any other query — even one that
+			// slipped in before this insert — invalidates it.
+			out.deferred.OutputVersion = committedVer[out.deferred.OutputPath]
+			res.Stored = append(res.Stored, repo.Insert(out.deferred))
+		}
 		res.Stored = append(res.Stored, out.stored...)
 		res.ExtraStoredSimBytes += out.extraBytes
 	}
@@ -302,12 +481,17 @@ func (d *Driver) Execute(wf *physical.Workflow, queryID string) (*Result, error)
 // register stores the whole-job output and the enumerated sub-job
 // outputs in the repository (the enumerated sub-job selector) and
 // returns the entries kept plus the extra simulated bytes materialized.
+// finalUser, when non-empty, is the user path the job's staged primary
+// output will be renamed to at commit: the whole-job entry is then
+// returned as deferred (pointing at the user path) instead of being
+// inserted, so the repository never references an uncommitted output.
 // eng and repo are the execution's snapshots — register must not reach
 // back through the Driver fields, which only restore.System's locking
 // keeps stable.
-func (d *Driver) register(opts Options, eng *mapreduce.Engine, repo *Repository, job *physical.Job, cleanPlan *physical.Plan, candidates []Candidate, stats *mapreduce.JobStats) ([]*Entry, int64) {
+func (d *Driver) register(opts Options, eng *mapreduce.Engine, repo *Repository, job *physical.Job, cleanPlan *physical.Plan, candidates []Candidate, stats *mapreduce.JobStats, finalUser string) ([]*Entry, *Entry, int64) {
 	fs := eng.FS()
 	var stored []*Entry
+	var deferred *Entry
 	var extraBytes int64
 
 	admit := func(e *Entry) bool {
@@ -332,10 +516,14 @@ func (d *Driver) register(opts Options, eng *mapreduce.Engine, repo *Repository,
 	}
 
 	if opts.KeepWholeJobs {
+		outPath := job.OutputPath
+		if finalUser != "" {
+			outPath = finalUser
+		}
 		sig := SigOf(cleanPlan)
 		e := &Entry{
 			Plan:       sig,
-			OutputPath: job.OutputPath,
+			OutputPath: outPath,
 			WholeJob:   true,
 			Stats: EntryStats{
 				InputSimBytes:  stats.InputSimBytes,
@@ -348,7 +536,14 @@ func (d *Driver) register(opts Options, eng *mapreduce.Engine, repo *Repository,
 			StoredAt:      d.Now(),
 		}
 		if admit(e) {
-			stored = append(stored, repo.Insert(e))
+			if finalUser != "" {
+				// OutputVersion is unknown until the staged output is
+				// renamed into place; the commit path fills it in.
+				deferred = e
+			} else {
+				e.OutputVersion = fs.Version(e.OutputPath)
+				stored = append(stored, repo.Insert(e))
+			}
 		}
 	}
 
@@ -372,12 +567,13 @@ func (d *Driver) register(opts Options, eng *mapreduce.Engine, repo *Repository,
 			StoredAt:      d.Now(),
 		}
 		if admit(e) {
+			e.OutputVersion = fs.Version(e.OutputPath)
 			stored = append(stored, repo.Insert(e))
 		} else if !c.Existing {
 			_ = fs.Delete(c.Path) // rejected by the selector: reclaim now
 		}
 	}
-	return stored, extraBytes
+	return stored, deferred, extraBytes
 }
 
 // beneficial estimates Section 5 Rule 2: reusing the entry must beat

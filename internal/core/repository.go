@@ -52,6 +52,14 @@ type Entry struct {
 	// later deleted or modified.
 	InputVersions map[string]int64
 
+	// OutputVersion records the DFS version of the output dataset when
+	// the entry was registered (post-commit for staged user outputs).
+	// Valid invalidates the entry if the dataset is later overwritten —
+	// e.g. another query renaming its own result over the same user
+	// STORE path — so reuse can never serve data the entry's plan did
+	// not produce. Zero (legacy saved repositories) skips the check.
+	OutputVersion int64
+
 	// WholeJob marks entries that materialize a complete job rather
 	// than an enumerated sub-job.
 	WholeJob bool
@@ -148,6 +156,7 @@ func (r *Repository) Insert(e *Entry) *Entry {
 		ne.OutputPath = e.OutputPath
 		ne.Stats = e.Stats
 		ne.InputVersions = e.InputVersions
+		ne.OutputVersion = e.OutputVersion
 		ne.StoredAt = e.StoredAt
 		for i, x := range r.entries {
 			if x == old {
@@ -218,6 +227,9 @@ func (r *Repository) Remove(id string) *Entry {
 // lock and is safe to call from Scan callbacks.
 func (r *Repository) Valid(e *Entry, fs *dfs.FS) bool {
 	if !fs.Exists(e.OutputPath) {
+		return false
+	}
+	if e.OutputVersion != 0 && fs.Version(e.OutputPath) != e.OutputVersion {
 		return false
 	}
 	for p, v := range e.InputVersions {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -17,13 +18,21 @@ import (
 // unchanged while cutting real wall time to roughly
 // serial/min(width, workers).
 //
+// Cancelling ctx stops the workflow promptly: jobs that have not
+// started never run, in-flight jobs are aborted at the engine's next
+// task-slot acquisition, and runDAG returns ctx.Err(). admission, when
+// non-nil, is a cross-workflow semaphore: each job holds one slot for
+// exactly the duration of its process call, capping the total number of
+// jobs running across every concurrent query (slots are never held
+// across dependency waits, so the cap cannot deadlock the DAG).
+//
 // The first process error cancels jobs not yet started (in-flight jobs
 // finish) and is returned. Dependencies on IDs outside jobs are treated
 // as already satisfied, matching the serial driver's behaviour for
 // workflows whose producers were dropped by whole-job reuse.
-func runDAG(jobs []*physical.Job, workers int, process func(*physical.Job) error) error {
+func runDAG(ctx context.Context, jobs []*physical.Job, workers int, admission chan struct{}, process func(*physical.Job) error) error {
 	if len(jobs) == 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers < 1 {
 		workers = 1
@@ -95,10 +104,33 @@ func runDAG(jobs []*physical.Job, workers int, process func(*physical.Job) error
 			close(ready)
 		}
 	}
+	fail := func(err error) { // takes mu
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		finish()
+		mu.Unlock()
+	}
 	for _, j := range jobs {
 		if indeg[j.ID] == 0 {
 			ready <- j
 		}
+	}
+
+	// The cancellation monitor wakes workers blocked on the ready
+	// channel or the admission semaphore when ctx fires; stop releases
+	// it once the DAG drains.
+	stop := make(chan struct{})
+	defer close(stop)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				fail(ctx.Err())
+			case <-stop:
+			}
+		}()
 	}
 
 	var wg sync.WaitGroup
@@ -110,19 +142,29 @@ func runDAG(jobs []*physical.Job, workers int, process func(*physical.Job) error
 				mu.Lock()
 				bail := firstErr != nil
 				mu.Unlock()
-				if bail {
+				// The direct ctx check makes cancellation synchronous
+				// with the caller: once cancel() returns, no further job
+				// starts, even if the monitor goroutine has not yet run.
+				if bail || ctx.Err() != nil {
 					continue // drain jobs queued before the failure
 				}
-				err := process(job)
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
+				if admission != nil {
+					select {
+					case admission <- struct{}{}:
+					case <-ctx.Done():
+						fail(ctx.Err())
+						continue
 					}
-					finish()
-					mu.Unlock()
+				}
+				err := process(job)
+				if admission != nil {
+					<-admission
+				}
+				if err != nil {
+					fail(err)
 					continue
 				}
+				mu.Lock()
 				pending--
 				if pending == 0 {
 					finish()
@@ -140,5 +182,9 @@ func runDAG(jobs []*physical.Job, workers int, process func(*physical.Job) error
 	}
 	wg.Wait()
 
+	// The cancellation monitor may still be writing firstErr (it is
+	// stopped only by the deferred close); read under the lock.
+	mu.Lock()
+	defer mu.Unlock()
 	return firstErr
 }

@@ -212,6 +212,51 @@ func (fs *FS) Delete(path string) error {
 	return nil
 }
 
+// Rename atomically moves the file or dataset tree at oldPath to
+// newPath, replacing whatever was stored there — the whole swap happens
+// under one lock, so readers see either the old dataset or the new one,
+// never a mixture. This is the commit step of per-query output staging:
+// a query writes its STORE output under a private temp namespace and
+// renames it into place, so concurrent writers of one user path cannot
+// interleave part files. Both dataset versions are bumped; the returned
+// version is the destination dataset's new one, captured inside the
+// same critical section so the caller can bind metadata to exactly this
+// commit even when another writer renames over the path immediately
+// after.
+func (fs *FS) Rename(oldPath, newPath string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	op, np := clean(oldPath), clean(newPath)
+	moved := map[string][]byte{}
+	if f, ok := fs.files[op]; ok {
+		moved[np] = f.data
+		delete(fs.files, op)
+	}
+	prefix := op + "/"
+	for name, f := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			moved[np+"/"+name[len(prefix):]] = f.data
+			delete(fs.files, name)
+		}
+	}
+	if len(moved) == 0 {
+		return 0, &PathError{Op: "rename", Path: oldPath, Err: ErrNotExist}
+	}
+	delete(fs.files, np)
+	nprefix := np + "/"
+	for name := range fs.files {
+		if strings.HasPrefix(name, nprefix) {
+			delete(fs.files, name)
+		}
+	}
+	for name, data := range moved {
+		fs.files[name] = &file{data: data}
+	}
+	fs.bumpLocked(datasetOf(op))
+	fs.bumpLocked(datasetOf(np))
+	return fs.version[datasetOf(np)], nil
+}
+
 // Version returns the modification version of the dataset containing
 // path. Zero means the dataset has never been written.
 func (fs *FS) Version(path string) int64 {

@@ -145,3 +145,65 @@ func TestPathNormalization(t *testing.T) {
 		t.Errorf("leading/trailing slashes should normalize")
 	}
 }
+
+func TestRenameMovesDataset(t *testing.T) {
+	fs := New()
+	fs.WriteFile("stage/out/part-00000", []byte("a\n"))
+	fs.WriteFile("stage/out/part-00001", []byte("b\n"))
+	if _, err := fs.Rename("stage/out", "final/out"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if fs.Exists("stage/out") {
+		t.Errorf("source still exists after rename")
+	}
+	got := fs.List("final/out")
+	if len(got) != 2 {
+		t.Fatalf("destination files = %v, want 2 parts", got)
+	}
+	data, err := fs.ReadFile("final/out/part-00001")
+	if err != nil || string(data) != "b\n" {
+		t.Errorf("part-00001 = %q, %v", data, err)
+	}
+}
+
+func TestRenameReplacesDestination(t *testing.T) {
+	fs := New()
+	fs.WriteFile("dst/part-00000", []byte("old0\n"))
+	fs.WriteFile("dst/part-00001", []byte("old1\n"))
+	fs.WriteFile("dst/part-00002", []byte("old2\n"))
+	fs.WriteFile("src/part-00000", []byte("new\n"))
+	v := fs.Version("dst")
+	if _, err := fs.Rename("src", "dst"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	// Replacement is total: no stale parts of the old dataset survive.
+	got := fs.List("dst")
+	if len(got) != 1 || got[0] != "dst/part-00000" {
+		t.Fatalf("destination = %v, want exactly the renamed part", got)
+	}
+	data, _ := fs.ReadFile("dst/part-00000")
+	if string(data) != "new\n" {
+		t.Errorf("content = %q", data)
+	}
+	if fs.Version("dst") <= v {
+		t.Errorf("destination version did not bump")
+	}
+}
+
+func TestRenameMissingSource(t *testing.T) {
+	fs := New()
+	if _, err := fs.Rename("nope", "dst"); err == nil {
+		t.Errorf("renaming a missing path should error")
+	}
+}
+
+func TestRenameSingleFile(t *testing.T) {
+	fs := New()
+	fs.WriteFile("one", []byte("x"))
+	if _, err := fs.Rename("one", "two"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if fs.Exists("one") || !fs.Exists("two") {
+		t.Errorf("single-file rename broken")
+	}
+}

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/pigmix"
@@ -123,5 +124,49 @@ func TestProjectFilterPoint(t *testing.T) {
 	}
 	if pct <= 0 || pct >= 100 {
 		t.Errorf("projected pct = %v", pct)
+	}
+}
+
+// TestRunnersCoverOrder guards Order and Runners against drifting when
+// experiments are added: "-run all -parallel N" must cover the same set
+// as the serial path.
+func TestRunnersCoverOrder(t *testing.T) {
+	runners := Runners(nil)
+	if len(Order) != len(runners) {
+		t.Fatalf("Order has %d experiments, Runners has %d", len(Order), len(runners))
+	}
+	for _, name := range Order {
+		if _, ok := runners[name]; !ok {
+			t.Errorf("Order names unknown experiment %q", name)
+		}
+	}
+}
+
+// TestStudyConcurrentMeasure proves the study is shareable across
+// goroutines: concurrent Measure calls for one configuration coalesce
+// into one run and all observe the identical measurement (figures 10-14
+// in the experiments CLI's -parallel mode).
+func TestStudyConcurrentMeasure(t *testing.T) {
+	shrinkScales(t)
+	st := NewStudy()
+	const callers = 4
+	ms := make([]subjobMeasure, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ms[i], errs[i] = st.Measure(scaleLarge, 2 /* Aggressive */, "L3")
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if ms[i] != ms[0] {
+			t.Errorf("caller %d observed %+v, caller 0 observed %+v", i, ms[i], ms[0])
+		}
 	}
 }

@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"context"
 	"strings"
+	"sync"
 	"time"
 
 	"repro"
@@ -24,13 +26,27 @@ type subjobMeasure struct {
 }
 
 // Study caches sub-job measurements shared by Figures 10–14 and
-// Table 1, so the harness executes each configuration once.
+// Table 1, so the harness executes each configuration once. A Study is
+// safe for concurrent use: experiments running in parallel (the
+// experiments CLI's -parallel mode) share one Study, and concurrent
+// Measure calls for the same configuration coalesce into a single run
+// instead of duplicating it or racing on the cache.
 type Study struct {
-	cache map[string]subjobMeasure
+	mu    sync.Mutex
+	cache map[string]*studyCell
+}
+
+// studyCell is one cached measurement; its once gate lets the first
+// caller run the experiment while later callers for the same key block
+// until the result is in.
+type studyCell struct {
+	once sync.Once
+	m    subjobMeasure
+	err  error
 }
 
 // NewStudy returns an empty measurement cache.
-func NewStudy() *Study { return &Study{cache: map[string]subjobMeasure{}} }
+func NewStudy() *Study { return &Study{cache: map[string]*studyCell{}} }
 
 // Measure runs (or recalls) the three-phase sub-job experiment for one
 // query at one scale under one heuristic:
@@ -43,54 +59,64 @@ func NewStudy() *Study { return &Study{cache: map[string]subjobMeasure{}} }
 // repository, mirroring the paper's methodology.
 func (st *Study) Measure(sc pigmix.Scale, h core.Heuristic, query string) (subjobMeasure, error) {
 	key := sc.Name + "/" + h.String() + "/" + query
-	if m, ok := st.cache[key]; ok {
-		return m, nil
+	st.mu.Lock()
+	cell := st.cache[key]
+	if cell == nil {
+		cell = &studyCell{}
+		st.cache[key] = cell
 	}
+	st.mu.Unlock()
+	cell.once.Do(func() { cell.m, cell.err = measureSubjobs(sc, h, query) })
+	return cell.m, cell.err
+}
+
+// measureSubjobs executes the three phases on a private System. Each
+// phase runs with its own per-query options, so one warm System yields
+// the baseline, generation and reuse numbers in sequence.
+func measureSubjobs(sc pigmix.Scale, h core.Heuristic, query string) (subjobMeasure, error) {
 	sys, err := newPigMixSystem(sc, restore.Options{})
+	if err != nil {
+		return subjobMeasure{}, err
+	}
+	q, err := pigmix.Get(query)
 	if err != nil {
 		return subjobMeasure{}, err
 	}
 
 	// Phase 1: baseline.
-	r1, err := runQuery(sys, query)
+	r1, err := sys.Execute(q.Script)
 	if err != nil {
 		return subjobMeasure{}, err
 	}
 
 	// Phase 2: generate sub-jobs (storing on, reuse off).
-	sys.SetOptions(restore.Options{Heuristic: h})
-	r2, err := runQuery(sys, query)
+	r2, err := sys.ExecuteContext(context.Background(), q.Script, restore.WithOptions(restore.Options{Heuristic: h}))
 	if err != nil {
 		return subjobMeasure{}, err
 	}
 
 	// Phase 3: reuse (rewriting on, storing off, so the measurement is
 	// pure reuse, as in the paper's "all sub-jobs available" runs).
-	sys.SetOptions(restore.Options{Reuse: true})
-	r3, err := runQuery(sys, query)
+	r3, err := sys.ExecuteContext(context.Background(), q.Script, restore.WithOptions(restore.Options{Reuse: true}))
 	if err != nil {
 		return subjobMeasure{}, err
 	}
 
-	var inBytes, outBytes int64
-	q, _ := pigmix.Get(query)
+	var outBytes int64
 	for _, js := range r1.JobStats {
 		if out, ok := js.Outputs[q.Output]; ok {
 			outBytes += out.SimBytes
 		}
 	}
-	inBytes = inputVolume(r1)
 
-	m := subjobMeasure{
+	return subjobMeasure{
 		NoReuse:        r1.SimTime,
 		Generate:       r2.SimTime,
 		Reuse:          r3.SimTime,
-		InputSimBytes:  inBytes,
+		InputSimBytes:  inputVolume(r1),
 		StoredSimBytes: r2.ExtraStoredSimBytes,
 		OutputSimBytes: outBytes,
-	}
-	st.cache[key] = m
-	return m, nil
+	}, nil
 }
 
 // inputVolume sums the bytes loaded from base datasets, matching

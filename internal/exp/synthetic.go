@@ -144,26 +144,44 @@ func Figure17() (*Report, error) {
 	return rep, nil
 }
 
+// Order is the paper's presentation order of the experiments, the keys
+// of Runners.
+var Order = []string{
+	"fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+	"table1", "fig15", "table2", "fig16", "fig17",
+}
+
+// Runners returns every experiment keyed by name, with the sub-job
+// experiments (Figures 10–14, Table 1) bound to the given shared Study
+// so they reuse each other's measurements. The Study is concurrency-
+// safe, so the returned runners may execute in parallel — each builds
+// its own System — without losing the sharing.
+func Runners(st *Study) map[string]func() (*Report, error) {
+	if st == nil {
+		st = NewStudy()
+	}
+	return map[string]func() (*Report, error){
+		"fig9":   Figure9,
+		"fig10":  func() (*Report, error) { return figure10(st) },
+		"fig11":  func() (*Report, error) { return figure11(st) },
+		"fig12":  func() (*Report, error) { return figure12(st) },
+		"fig13":  func() (*Report, error) { return figure13(st) },
+		"fig14":  func() (*Report, error) { return figure14(st) },
+		"table1": func() (*Report, error) { return table1(st) },
+		"fig15":  Figure15,
+		"table2": Table2,
+		"fig16":  Figure16,
+		"fig17":  Figure17,
+	}
+}
+
 // All runs every experiment in paper order. The shared Study lets the
 // sub-job experiments reuse each other's measurements.
 func All() ([]*Report, error) {
-	st := NewStudy()
-	runners := []func() (*Report, error){
-		Figure9,
-		func() (*Report, error) { return figure10(st) },
-		func() (*Report, error) { return figure11(st) },
-		func() (*Report, error) { return figure12(st) },
-		func() (*Report, error) { return figure13(st) },
-		func() (*Report, error) { return figure14(st) },
-		func() (*Report, error) { return table1(st) },
-		Figure15,
-		Table2,
-		Figure16,
-		Figure17,
-	}
+	runners := Runners(NewStudy())
 	var out []*Report
-	for _, run := range runners {
-		rep, err := run()
+	for _, name := range Order {
+		rep, err := runners[name]()
 		if err != nil {
 			return out, err
 		}

@@ -10,6 +10,7 @@ package mapreduce
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -129,7 +130,20 @@ type rec struct {
 
 // Run executes the job and returns its statistics.
 func (e *Engine) Run(job *physical.Job) (*JobStats, error) {
+	return e.RunContext(context.Background(), job)
+}
+
+// RunContext executes the job under ctx. Cancelling the context aborts
+// the job promptly: tasks that have not yet acquired an engine task
+// slot never start (their slots go back to the engine-wide pool for
+// other in-flight jobs), already-running tasks finish their unit of
+// work, and the returned error wraps ctx.Err(). A cancelled job writes
+// no statistics and must not be registered in the repository.
+func (e *Engine) RunContext(ctx context.Context, job *physical.Job) (*JobStats, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %s: %w", job.ID, err)
+	}
 	if err := job.Plan.Validate(); err != nil {
 		return nil, fmt.Errorf("mapreduce: job %s: %w", job.ID, err)
 	}
@@ -162,7 +176,7 @@ func (e *Engine) Run(job *physical.Job) (*JobStats, error) {
 
 	stats := &JobStats{JobID: job.ID, Outputs: map[string]OutputStat{}}
 
-	mapResults, err := e.runMapPhase(job, seg, splits, numRed, stats)
+	mapResults, err := e.runMapPhase(ctx, job, seg, splits, numRed, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +185,7 @@ func (e *Engine) Run(job *physical.Job) (*JobStats, error) {
 		mapTimes = append(mapTimes, e.cfg.Cost.TaskTime(mr.work))
 	}
 	if seg.shuffle != nil {
-		redTimes, err = e.runReducePhase(job, seg, mapResults, numRed, stats)
+		redTimes, err = e.runReducePhase(ctx, job, seg, mapResults, numRed, stats)
 		if err != nil {
 			return nil, err
 		}
@@ -354,7 +368,7 @@ type mapResult struct {
 	records int64
 }
 
-func (e *Engine) runMapPhase(job *physical.Job, seg *segmentation, splits []split, numRed int, stats *JobStats) ([]mapResult, error) {
+func (e *Engine) runMapPhase(ctx context.Context, job *physical.Job, seg *segmentation, splits []split, numRed int, stats *JobStats) ([]mapResult, error) {
 	results := make([]mapResult, len(splits))
 	errs := make([]error, len(splits))
 	var wg sync.WaitGroup
@@ -362,7 +376,12 @@ func (e *Engine) runMapPhase(job *physical.Job, seg *segmentation, splits []spli
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			e.sem <- struct{}{}
+			select {
+			case e.sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[idx] = ctx.Err()
+				return
+			}
 			defer func() { <-e.sem }()
 			results[idx], errs[idx] = e.runMapTask(job, seg, splits[idx], idx, numRed)
 		}(i)
@@ -469,7 +488,7 @@ func (e *Engine) runMapTask(job *physical.Job, seg *segmentation, sp split, task
 	return mr, nil
 }
 
-func (e *Engine) runReducePhase(job *physical.Job, seg *segmentation, mapResults []mapResult, numRed int, stats *JobStats) ([]time.Duration, error) {
+func (e *Engine) runReducePhase(ctx context.Context, job *physical.Job, seg *segmentation, mapResults []mapResult, numRed int, stats *JobStats) ([]time.Duration, error) {
 	times := make([]time.Duration, numRed)
 	errs := make([]error, numRed)
 	outs := make([]map[string]OutputStat, numRed)
@@ -479,7 +498,12 @@ func (e *Engine) runReducePhase(job *physical.Job, seg *segmentation, mapResults
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			e.sem <- struct{}{}
+			select {
+			case e.sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[r] = ctx.Err()
+				return
+			}
 			defer func() { <-e.sem }()
 			var recs []rec
 			for _, mr := range mapResults {

@@ -1,6 +1,8 @@
 package mapreduce
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"strings"
 	"testing"
@@ -478,5 +480,43 @@ store B into 'out';
 	got := readDataset(t, fs, "out")
 	if len(got) != 2 {
 		t.Errorf("limit rows = %d, want 2 (single split)", len(got))
+	}
+}
+
+// TestRunContextCancelled proves engine-level cancellation: a cancelled
+// context aborts the job with its error before (or while) tasks acquire
+// slots, and the engine stays usable afterwards.
+func TestRunContextCancelled(t *testing.T) {
+	fs := dfs.New()
+	writeDataset(t, fs, "in",
+		tuple.Tuple{"a", int64(1)}, tuple.Tuple{"b", int64(2)})
+	script, err := piglatin.Parse(`
+A = load 'in' as (k, v);
+G = group A by k;
+S = foreach G generate group, SUM(A.v);
+store S into 'out';
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := logical.Build(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := mrcompile.Compile(lp, mrcompile.Options{TempPrefix: "tmp/t", DefaultReducers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(fs, DefaultConfig())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.RunContext(ctx, wf.Jobs[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext err = %v, want context.Canceled", err)
+	}
+	// All task slots were released: the same job runs fine with a live
+	// context.
+	if _, err := eng.RunContext(context.Background(), wf.Jobs[0]); err != nil {
+		t.Fatalf("Run after cancellation: %v", err)
 	}
 }

@@ -18,45 +18,80 @@
 //
 // Execute both runs the query (for real, on the embedded engine) and
 // reports the simulated "time on Hadoop" for the paper's 15-node
-// cluster. Configure reuse through Config.Options: enable
-// Options.Reuse, pick a sub-job materialization heuristic, and repeated
-// or overlapping queries get rewritten to read previously stored
-// results instead of recomputing them.
+// cluster. It is the synchronous wrapper over the query-handle API:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	q, err := sys.Submit(ctx, script,
+//	    restore.WithOptions(restore.Options{Reuse: true, KeepWholeJobs: true}),
+//	    restore.WithTag("dashboard-refresh"))
+//	// ... q.Status() reports per-job states while the query runs ...
+//	res, err := q.Wait()
+//
+// Submit returns immediately with a *Query handle: Wait blocks for the
+// result, Done exposes a completion channel for select loops, Status
+// snapshots per-job lifecycle states (pending, running, reused, done),
+// and Result fetches the outcome without blocking. Cancelling the
+// submission context (or exceeding its deadline) aborts the workflow
+// promptly: unstarted jobs never run, in-flight jobs release their
+// engine task slots, Wait returns the context's error, and nothing is
+// published — each query's STORE outputs are staged in a private temp
+// namespace and atomically renamed into place only when the whole
+// workflow commits.
+//
+// Reuse is configured per query: WithOptions, WithHeuristic,
+// WithWorkers and WithTag override the System's defaults for one
+// submission only, so reuse-on and reuse-off queries run side by side
+// on one System. Config.Options remains the default for submissions
+// that pass no options.
 //
 // # Concurrency model
 //
-// A System serves many clients at once: Execute (and Compile,
-// WriteDataset, ReadDataset) may be called concurrently from any number
-// of goroutines against one System. Three layers make this safe:
+// A System serves many clients at once: Submit, Execute, Compile,
+// WriteDataset and ReadDataset may be called concurrently from any
+// number of goroutines against one System. Four layers make this safe:
 //
 //   - DAG scheduling. Within one workflow, jobs are scheduled over the
 //     dependency DAG: independent jobs run concurrently on a bounded
-//     worker pool (Config.WorkflowWorkers, default NumCPU), and a job
-//     starts only after every job it depends on completed. The
-//     simulated time still comes from the paper's Equation 1 (critical
-//     path over the DAG), so concurrency changes wall time only.
+//     worker pool (Config.WorkflowWorkers or WithWorkers, default
+//     NumCPU), and a job starts only after every job it depends on
+//     completed. Across workflows, Config.MaxClusterJobs optionally
+//     caps the total number of jobs running at once (global admission).
+//     The simulated time still comes from the paper's Equation 1
+//     (critical path over the DAG), so concurrency changes wall time
+//     only.
 //
 //   - Locking discipline. The repository of stored job outputs is
 //     internally synchronized (entries are immutable once inserted;
 //     re-registration swaps in fresh entries); the DFS is safe for
 //     concurrent use; the driver's simulated clock and query counter
-//     are atomic. Workflow structures are never shared: every Execute
-//     clones its compiled workflow, and within one execution all
-//     whole-job-reuse mutations (dropping a job, redirecting its
+//     are atomic. Workflow structures are never shared: every
+//     submission clones its compiled workflow, and within one execution
+//     all whole-job-reuse mutations (dropping a job, redirecting its
 //     dependants' loads) happen under a per-execution workflow lock,
 //     before the affected dependants start.
 //
-//   - Reconfiguration. SetOptions, SetScales, SetSimScale and
-//     LoadRepository take a write lock that waits for in-flight
-//     Execute calls to drain, so options and engines never change under
-//     a running query.
+//   - Per-query configuration. Each submission takes an immutable
+//     snapshot of the System's options at Submit time, then applies its
+//     ExecOptions. A query's configuration can never change mid-flight,
+//     and queries with different options interleave freely.
 //
-// Concurrent queries writing the same user STORE path race on the DFS
-// (as they would on HDFS); give concurrent clients distinct output
-// paths.
+//   - Output staging. Every query writes its user STORE outputs under
+//     its private temp namespace and atomically renames them into place
+//     when the workflow commits, so concurrent queries storing to the
+//     same path leave it holding exactly one query's complete dataset —
+//     never an interleaving of part files — and cancelled or failed
+//     queries publish nothing.
+//
+// SetOptions, SetScales, SetSimScale and LoadRepository still take a
+// write lock that waits for all in-flight queries to drain; prefer
+// per-query ExecOptions for tuning, and reserve SetOptions for changing
+// the defaults of a quiet System.
 package restore
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -90,6 +125,27 @@ type Options = core.Options
 // Heuristic selects which operator outputs the sub-job enumerator
 // materializes.
 type Heuristic = core.Heuristic
+
+// JobState is the lifecycle of one MapReduce job within a submitted
+// query, reported by Query.Status.
+type JobState = core.JobState
+
+// The job lifecycle states.
+const (
+	// JobPending: not yet dispatched (dependencies incomplete, or the
+	// query was cancelled before the job started).
+	JobPending = core.JobPending
+	// JobRunning: being matched, rewritten and executed.
+	JobRunning = core.JobRunning
+	// JobReused: answered entirely from the repository; never ran.
+	JobReused = core.JobReused
+	// JobDone: executed to completion.
+	JobDone = core.JobDone
+	// JobFailed: execution returned an error.
+	JobFailed = core.JobFailed
+	// JobCanceled: aborted by context cancellation after starting.
+	JobCanceled = core.JobCanceled
+)
 
 // The sub-job enumeration heuristics of the paper's Section 4.
 const (
@@ -128,8 +184,14 @@ type Config struct {
 	// run concurrently (independent jobs of the DAG only; dependencies
 	// are always respected). Zero means NumCPU; 1 forces the serial
 	// execution order of stock Pig. Simulated times are identical at
-	// any setting.
+	// any setting. WithWorkers overrides it per query.
 	WorkflowWorkers int
+	// MaxClusterJobs caps how many MapReduce jobs run at once across
+	// ALL concurrent queries of this System (global admission control;
+	// each job holds one slot only while it executes, never across
+	// dependency waits). Zero means unlimited. Like WorkflowWorkers it
+	// bounds real resource use only; simulated times are unchanged.
+	MaxClusterJobs int
 	// Options configures ReStore (reuse off by default: the engine then
 	// behaves like stock Pig/Hadoop).
 	Options Options
@@ -189,6 +251,9 @@ func New(cfg Config) *System {
 	repo := core.NewRepository()
 	driver := core.NewDriver(eng, repo, cfg.Options)
 	driver.Workers = cfg.WorkflowWorkers
+	if cfg.MaxClusterJobs > 0 {
+		driver.Admission = make(chan struct{}, cfg.MaxClusterJobs)
+	}
 	return &System{
 		fs:     fs,
 		eng:    eng,
@@ -345,20 +410,227 @@ func (s *System) compile(script, tempPrefix string) (*physical.Workflow, error) 
 	})
 }
 
-// Execute parses, compiles, and runs a Pig Latin script through the
-// ReStore pipeline. It is safe to call from many goroutines at once;
-// each call gets a unique query ID and private temp-path namespace.
-func (s *System) Execute(script string) (*Result, error) {
+// ExecOption tunes one query submission, overriding the System's
+// default configuration for that query only.
+type ExecOption func(*execConfig)
+
+// execConfig is the resolved per-submission configuration: seeded from
+// the System's defaults at Submit time, then adjusted by the
+// submission's ExecOptions in order.
+type execConfig struct {
+	opts     Options
+	workers  int
+	tag      string
+	observer func(jobID string, state JobState)
+}
+
+// WithOptions replaces the query's entire ReStore configuration,
+// instead of inheriting the System's Config.Options. Apply it before
+// finer-grained options like WithHeuristic when combining them.
+func WithOptions(opts Options) ExecOption {
+	return func(c *execConfig) { c.opts = opts }
+}
+
+// WithHeuristic overrides only the sub-job materialization heuristic.
+func WithHeuristic(h Heuristic) ExecOption {
+	return func(c *execConfig) { c.opts.Heuristic = h }
+}
+
+// WithWorkers overrides how many of this query's jobs may run
+// concurrently (zero means NumCPU; 1 forces stock Pig's serial order).
+func WithWorkers(n int) ExecOption {
+	return func(c *execConfig) { c.workers = n }
+}
+
+// WithTag attaches a client-chosen label to the query, reported by
+// Query.Status — useful when one dashboard multiplexes many tenants.
+func WithTag(tag string) ExecOption {
+	return func(c *execConfig) { c.tag = tag }
+}
+
+// withJobObserver registers a synchronous per-job lifecycle callback;
+// unexported, for deterministic lifecycle tests.
+func withJobObserver(fn func(jobID string, state JobState)) ExecOption {
+	return func(c *execConfig) { c.observer = fn }
+}
+
+// ErrInFlight is returned by Query.Result while the query is still
+// executing.
+var ErrInFlight = errors.New("restore: query still executing")
+
+// QueryStatus is a point-in-time snapshot of a submitted query.
+type QueryStatus struct {
+	// ID is the unique query ID ("q1", "q2", ...).
+	ID string
+	// Tag is the WithTag label, if any.
+	Tag string
+	// Done reports whether the query has finished (successfully or not).
+	Done bool
+	// Err is the terminal error of a finished query (nil on success or
+	// while running; context.Canceled after cancellation).
+	Err error
+	// Jobs maps each MapReduce job ID of the compiled workflow to its
+	// lifecycle state. Jobs a cancelled query never dispatched stay
+	// JobPending.
+	Jobs map[string]JobState
+}
+
+// Query is a handle on one submitted script: an asynchronous execution
+// whose progress can be observed, whose result can be awaited, and
+// whose lifetime is bound to the context passed to Submit. All methods
+// are safe for concurrent use.
+type Query struct {
+	id  string
+	tag string
+	sys *System
+
+	done chan struct{}
+
+	mu   sync.Mutex
+	jobs map[string]JobState
+	res  *Result
+	err  error
+}
+
+// ID returns the unique query ID.
+func (q *Query) ID() string { return q.id }
+
+// Tag returns the WithTag label, if any.
+func (q *Query) Tag() string { return q.tag }
+
+// Done returns a channel closed when the query finishes, for use in
+// select loops alongside other events.
+func (q *Query) Done() <-chan struct{} { return q.done }
+
+// Wait blocks until the query finishes and returns its result. If the
+// submission context was cancelled, Wait returns the context's error
+// (context.Canceled or context.DeadlineExceeded).
+func (q *Query) Wait() (*Result, error) {
+	<-q.done
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.res, q.err
+}
+
+// Result returns the query's outcome without blocking: ErrInFlight
+// while it is still executing, otherwise exactly what Wait returns.
+func (q *Query) Result() (*Result, error) {
+	select {
+	case <-q.done:
+		return q.Wait()
+	default:
+		return nil, ErrInFlight
+	}
+}
+
+// Status snapshots the query's per-job lifecycle states.
+func (q *Query) Status() QueryStatus {
+	st := QueryStatus{ID: q.id, Tag: q.tag}
+	select {
+	case <-q.done:
+		st.Done = true
+	default:
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if st.Done {
+		st.Err = q.err
+	}
+	st.Jobs = make(map[string]JobState, len(q.jobs))
+	for id, s := range q.jobs {
+		st.Jobs[id] = s
+	}
+	return st
+}
+
+// Submit parses and compiles a Pig Latin script, then starts executing
+// it asynchronously, returning a Query handle immediately — before any
+// MapReduce job has run. Compilation errors are returned synchronously;
+// execution errors surface through Wait/Result.
+//
+// The query runs with an immutable configuration snapshot: the System's
+// current options and worker bound, adjusted by the given ExecOptions.
+// Cancelling ctx aborts the workflow promptly (unstarted jobs stay
+// pending, running jobs release their engine slots, staged outputs are
+// discarded) and Wait returns ctx.Err().
+func (s *System) Submit(ctx context.Context, script string, opts ...ExecOption) (*Query, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	qid := fmt.Sprintf("q%d", s.nquery.Add(1))
 	wf, err := s.compile(script, "tmp/"+qid)
 	if err != nil {
 		return nil, err
 	}
+
+	// Per-execution snapshot: the System's defaults as of now, then the
+	// submission's own options. Reconfiguration after this point never
+	// affects this query.
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	res, err := s.driver.Execute(wf, qid)
+	ec := execConfig{opts: s.driver.Opts, workers: s.driver.Workers}
+	s.mu.RUnlock()
+	for _, o := range opts {
+		o(&ec)
+	}
+
+	q := &Query{
+		id:   qid,
+		tag:  ec.tag,
+		sys:  s,
+		done: make(chan struct{}),
+		jobs: make(map[string]JobState, len(wf.Jobs)),
+	}
+	for _, j := range wf.Jobs {
+		q.jobs[j.ID] = JobPending
+	}
+
+	cfg := core.ExecConfig{
+		Opts:    ec.opts,
+		Workers: ec.workers,
+		OnJobState: func(jobID string, state JobState) {
+			q.mu.Lock()
+			q.jobs[jobID] = state
+			q.mu.Unlock()
+			if ec.observer != nil {
+				ec.observer(jobID, state)
+			}
+		},
+	}
+
+	go func() {
+		// Hold the read side for the execution's duration, as Execute
+		// always did: reconfiguration (SetOptions, SetScales,
+		// LoadRepository) drains in-flight queries.
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		res, err := s.driver.ExecuteContext(ctx, wf, qid, cfg)
+		q.mu.Lock()
+		if err != nil {
+			q.err = err
+		} else {
+			q.res = &Result{Result: res, sys: s}
+		}
+		q.mu.Unlock()
+		close(q.done)
+	}()
+	return q, nil
+}
+
+// Execute parses, compiles, and runs a Pig Latin script through the
+// ReStore pipeline, blocking until it completes: it is Submit followed
+// by Wait, with no cancellation. It is safe to call from many
+// goroutines at once; each call gets a unique query ID and private
+// temp-path namespace.
+func (s *System) Execute(script string) (*Result, error) {
+	return s.ExecuteContext(context.Background(), script)
+}
+
+// ExecuteContext is Execute with a context and per-query options: it
+// submits the script and waits for the result.
+func (s *System) ExecuteContext(ctx context.Context, script string, opts ...ExecOption) (*Result, error) {
+	q, err := s.Submit(ctx, script, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Result: res, sys: s}, nil
+	return q.Wait()
 }
