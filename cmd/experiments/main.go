@@ -6,6 +6,7 @@
 //
 //	experiments               # run everything (takes a few minutes)
 //	experiments -run fig9     # one experiment: fig9..fig17, table1, table2
+//	experiments -run figb     # beyond the paper: eviction policies under a budget
 //	experiments -parallel 4   # run selected experiments concurrently
 //	experiments -timeout 10m  # abort if the selection takes longer
 //	experiments -o results.txt

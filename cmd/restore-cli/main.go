@@ -8,12 +8,16 @@
 //	restore-cli -query L3 -repeat 3 -reuse -heuristic aggressive
 //	restore-cli -script myquery.pig -reuse    # run a script from a file
 //	restore-cli -timeout 30s -query L5        # cancel runs exceeding 30s
+//	restore-cli -max-repo-mb 64 -evict lru    # bound the repository
 //	restore-cli -list                         # list PigMix queries
 //
 // Repeated runs share one repository, so with -reuse the second and
 // later runs demonstrate ReStore's rewrites. Every run is submitted
 // through the query-handle API with per-query options; -timeout bounds
 // each run with a context deadline, aborting its remaining jobs.
+// -max-repo-mb caps the bytes the repository retains (the -evict
+// policy picks victims), and -janitor starts the background storage
+// sweeper at the given interval.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/core"
@@ -44,6 +49,10 @@ func main() {
 		maxJobsFlag = flag.Int("max-cluster-jobs", 0, "global cap on jobs running across all queries (0 = unlimited)")
 		timeoutFlag = flag.Duration("timeout", 0, "per-run deadline; a run exceeding it is cancelled (0 = none)")
 		tagFlag     = flag.String("tag", "", "label attached to each submitted query")
+		budgetFlag  = flag.Int64("max-repo-mb", 0, "repository storage budget in MB (0 = unbounded)")
+		evictFlag   = flag.String("evict", "cost-benefit", "eviction policy under the budget: reuse-window, lru, cost-benefit")
+		windowFlag  = flag.Duration("evict-window", time.Hour, "idle window of the reuse-window policy (simulated time)")
+		janitorFlag = flag.Duration("janitor", 0, "background storage-janitor sweep interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -86,7 +95,15 @@ func main() {
 
 	cfg := restore.DefaultConfig()
 	cfg.MaxClusterJobs = *maxJobsFlag
+	cfg.MaxRepositoryBytes = *budgetFlag << 20
+	if policy, ok := core.ParseEvictionPolicy(*evictFlag, *windowFlag); ok {
+		cfg.Eviction = policy
+	} else {
+		fail(fmt.Errorf("unknown eviction policy %q (want reuse-window, lru or cost-benefit)", *evictFlag))
+	}
+	cfg.JanitorInterval = *janitorFlag
 	sys := restore.New(cfg)
+	defer sys.Close()
 	fmt.Printf("generating PigMix %s instance…\n", scale.Name)
 	if _, err := pigmix.Generate(sys.FS(), scale, 1); err != nil {
 		fail(err)
@@ -146,8 +163,17 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("repository: %d entries, DFS holds %.1f MB actual\n",
-		sys.Repository().Len(), float64(sys.FS().TotalBytes())/(1<<20))
+	st := sys.StorageStats()
+	fmt.Printf("repository: %d entries, %.1f MB retained", st.Entries, float64(st.UsageBytes)/(1<<20))
+	if st.BudgetBytes > 0 {
+		fmt.Printf(" of %.1f MB budget (%s policy, %d evictions)",
+			float64(st.BudgetBytes)/(1<<20), st.Policy, st.Evictions)
+	}
+	fmt.Printf("; DFS holds %.1f MB actual\n", float64(sys.FS().TotalBytes())/(1<<20))
+	if st.ClaimWaits > 0 || st.ClaimsShared > 0 {
+		fmt.Printf("claims: %d granted, %d waits, %d shared in flight\n",
+			st.ClaimsGranted, st.ClaimWaits, st.ClaimsShared)
+	}
 }
 
 func fail(err error) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,7 +70,26 @@ type ExecConfig struct {
 	// synchronously from scheduler goroutines and must not block for
 	// long or call back into the driver.
 	OnJobState func(jobID string, state JobState)
+	// OnJobProgress, when non-nil, receives task-level progress of every
+	// executing job: tasks completed out of total, and the simulated
+	// execution time accumulated so far (the job's final Equation 1 time
+	// on the last call). Same calling discipline as OnJobState.
+	OnJobProgress func(jobID string, done, total int, sim time.Duration)
 }
+
+// ClaimFallback selects what an execution does when a claim it was
+// waiting on is aborted: the winner failed, was cancelled, or had its
+// output rejected by the sub-job selector.
+type ClaimFallback int
+
+const (
+	// ClaimRetry (the default): contend for the claim again — the next
+	// winner materializes, everyone else keeps sharing.
+	ClaimRetry ClaimFallback = iota
+	// ClaimIndependent: give up on sharing that sub-job and materialize
+	// it privately, like the pre-claim behaviour.
+	ClaimIndependent
+)
 
 // Options configure a Driver. The two independent switches mirror the
 // paper's experiments: Reuse turns the plan matcher and rewriter on, and
@@ -99,6 +119,15 @@ type Options struct {
 	// whenever ReStore stores anything, since repository entries may
 	// reference those files.
 	DeleteTemps bool
+	// DisableClaims opts this execution out of the cross-query claim
+	// protocol: sub-jobs are materialized privately even when a
+	// concurrent query is materializing the same plan (the pre-claim
+	// behaviour). Claims are otherwise on whenever the configuration
+	// stores anything.
+	DisableClaims bool
+	// ClaimFallback selects the behaviour when a claim this execution
+	// waited on is aborted (default: contend for it again).
+	ClaimFallback ClaimFallback
 }
 
 // storesAnything reports whether this configuration writes repository
@@ -152,6 +181,13 @@ type Driver struct {
 	Repo   *Repository
 	Opts   Options
 
+	// Store is the storage manager coordinating cross-query claims,
+	// budgeted eviction and orphan vacuuming over Repo. NewDriver
+	// initializes it (with no byte budget); restore.System installs a
+	// configured one. Like the other fields it must not be reassigned
+	// while Execute calls are in flight.
+	Store *StorageManager
+
 	// Workers bounds how many jobs of one workflow run concurrently;
 	// zero or negative means runtime.NumCPU(). Workers = 1 restores the
 	// serial execution order of the paper's Pig/Hadoop setup (the
@@ -173,9 +209,10 @@ type Driver struct {
 	queryCounter atomic.Int64
 }
 
-// NewDriver returns a driver over the engine and repository.
+// NewDriver returns a driver over the engine and repository, with a
+// storage manager carrying no byte budget.
 func NewDriver(eng *mapreduce.Engine, repo *Repository, opts Options) *Driver {
-	return &Driver{Engine: eng, Repo: repo, Opts: opts}
+	return &Driver{Engine: eng, Repo: repo, Opts: opts, Store: NewStorageManager(repo, eng.FS(), 0, nil)}
 }
 
 // Now returns the driver's simulated clock: the total simulated time of
@@ -240,9 +277,14 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 	opts := cfg.Opts
 	eng := d.Engine
 	repo := d.Repo
+	store := d.Store
 	notify := cfg.OnJobState
 	if notify == nil {
 		notify = func(string, JobState) {}
+	}
+	progress := cfg.OnJobProgress
+	if progress == nil {
+		progress = func(string, int, int, time.Duration) {}
 	}
 	wf = wf.Clone()
 
@@ -332,6 +374,18 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 	// DependsOn list are private to the goroutine running it.
 	var wfMu sync.Mutex
 
+	// claimsOn: every execution that stores participates in the claim
+	// protocol unless it opted out. With claims on, a sub-job another
+	// query is currently materializing is waited for and reused instead
+	// of materialized twice.
+	claimsOn := store != nil && opts.storesAnything() && !opts.DisableClaims
+	// maxClaimAttempts bounds the rewrite/claim loop: each iteration
+	// either wins every needed claim, absorbs a freshly committed entry,
+	// or retries an aborted claim. The bound only matters under
+	// pathological abort storms; on overflow the job proceeds without
+	// the unresolved claims.
+	const maxClaimAttempts = 16
+
 	process := func(job *physical.Job) error {
 		if err := ctx.Err(); err != nil {
 			return err // cancelled before dispatch: the job stays pending
@@ -339,43 +393,169 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 		out := &outcomes[slot[job.ID]]
 		notify(job.ID, JobRunning)
 
-		wfMu.Lock()
-		_, isFinal := finalJob[job.ID]
-		if opts.Reuse {
-			events := rewriter.RewriteJob(job, !isFinal)
-			for _, ev := range events {
-				pinned = append(pinned, ev.EntryID)
-				repo.NoteReuse(ev.entry, d.Now())
+		// held maps claimed plan fingerprints to the claims this job
+		// won; every exit path must Commit or Abort them all.
+		held := map[string]*Claim{}
+		abortHeld := func() {
+			for _, c := range held {
+				store.Abort(c)
 			}
-			out.events = events
-			if n := len(events); n > 0 && events[n-1].WholeJob {
-				// Drop the job; its dependants — which cannot have
-				// started — read the stored output instead.
-				wf.DropJob(job.ID)
-				for _, dep := range dependants[job.ID] {
-					dep.RemoveDependency(job.ID)
-					dep.RewriteLoadPath(job.OutputPath, events[n-1].Path)
-				}
-				out.reusedWhole = true
-				wfMu.Unlock()
-				notify(job.ID, JobReused)
-				return nil
-			}
+			held = map[string]*Claim{}
 		}
-		// Snapshot the dependency list for Equation 1 while the lock is
-		// held: whole-job reuse of a producer strips it from DependsOn.
-		out.deps = append([]string(nil), job.DependsOn...)
-		wfMu.Unlock()
+		// independent marks fingerprints this job materializes without a
+		// claim (the ClaimIndependent fallback after a winner aborted).
+		independent := map[string]bool{}
+
+		var existing []Candidate      // zero-cost candidates of the final plan
+		var targets []*physical.Op    // injectable targets of the final plan
+		var injectable []*physical.Op // targets this job actually materializes
+
+		for attempt := 0; ; attempt++ {
+			wfMu.Lock()
+			_, isFinal := finalJob[job.ID]
+			if opts.Reuse {
+				events := rewriter.RewriteJob(job, !isFinal)
+				for _, ev := range events {
+					pinned = append(pinned, ev.EntryID)
+					repo.NoteReuse(ev.entry, d.Now())
+				}
+				out.events = append(out.events, events...)
+				if n := len(events); n > 0 && events[n-1].WholeJob {
+					// Drop the job; its dependants — which cannot have
+					// started — read the stored output instead.
+					wf.DropJob(job.ID)
+					for _, dep := range dependants[job.ID] {
+						dep.RemoveDependency(job.ID)
+						dep.RewriteLoadPath(job.OutputPath, events[n-1].Path)
+					}
+					out.reusedWhole = true
+					wfMu.Unlock()
+					abortHeld()
+					notify(job.ID, JobReused)
+					return nil
+				}
+			}
+			// Snapshot the dependency list for Equation 1 while the lock
+			// is held: whole-job reuse of a producer strips it from
+			// DependsOn.
+			out.deps = append([]string(nil), job.DependsOn...)
+			wfMu.Unlock()
+
+			// Choose materialization points on the rewritten plan.
+			existing, targets = enum.Choose(job)
+			if !claimsOn {
+				injectable = targets
+				break
+			}
+
+			// The claim set: every sub-job this job would register. The
+			// whole-job and existing-candidate fingerprints are claimed
+			// only when reuse is on — a loser can only profit from them
+			// by rewriting against the committed entry — and only for
+			// non-final jobs (a final job's own output is staged under
+			// the query's private namespace until commit, so other
+			// queries must not wait on, or rewrite to, its entries).
+			fps := map[string]*physical.Op{}
+			if !isFinal && opts.Reuse {
+				if opts.KeepWholeJobs {
+					sig := SigOf(job.Plan)
+					fps[sig.Fingerprint()] = nil
+				}
+				for _, c := range existing {
+					sig := SigOf(job.Plan.PrefixPlan(c.OpID, c.Path))
+					fps[sig.Fingerprint()] = nil
+				}
+			}
+			targetFP := make(map[int]string, len(targets))
+			for _, op := range targets {
+				sig := SigOf(job.Plan.PrefixPlan(op.ID, "claim"))
+				fp := sig.Fingerprint()
+				targetFP[op.ID] = fp
+				fps[fp] = op
+			}
+
+			// Release claims the rewritten plan no longer needs (a
+			// committed entry absorbed the sub-job).
+			for fp, c := range held {
+				if _, ok := fps[fp]; !ok {
+					store.Abort(c)
+					delete(held, fp)
+				}
+			}
+
+			// Acquire in sorted fingerprint order, waiting at the first
+			// contended claim while holding only smaller ones — the
+			// hierarchical order makes cross-query claim waits
+			// deadlock-free.
+			order := make([]string, 0, len(fps))
+			for fp := range fps {
+				order = append(order, fp)
+			}
+			sort.Strings(order)
+			var waitOn *Claim
+			for _, fp := range order {
+				if held[fp] != nil || independent[fp] {
+					continue
+				}
+				if c, won := store.TryClaim(fp, queryID); won {
+					held[fp] = c
+				} else {
+					waitOn = c
+					break
+				}
+			}
+			if waitOn == nil {
+				injectable = targets
+				break
+			}
+			if attempt >= maxClaimAttempts {
+				// Stop contending: materialize only what this job holds
+				// or was told to take independently.
+				injectable = injectable[:0]
+				for _, op := range targets {
+					if fp := targetFP[op.ID]; held[fp] != nil || independent[fp] {
+						injectable = append(injectable, op)
+					}
+				}
+				break
+			}
+			// The deadlock-freedom invariant — while blocked, hold only
+			// fingerprints smaller than the one waited on — must survive
+			// re-rewrites: an absorbed entry can put new, smaller
+			// fingerprints into the claim set. Release any held claim
+			// above the wait target before blocking; the next iteration
+			// re-contends for it.
+			for fp, c := range held {
+				if fp > waitOn.Fingerprint() {
+					store.Abort(c)
+					delete(held, fp)
+				}
+			}
+			entry, err := store.WaitShared(ctx, waitOn)
+			if err != nil {
+				abortHeld()
+				notify(job.ID, JobCanceled)
+				return fmt.Errorf("core: executing %s/%s: %w", queryID, job.ID, err)
+			}
+			if entry == nil && opts.ClaimFallback == ClaimIndependent {
+				independent[waitOn.Fingerprint()] = true
+			}
+			// Re-rewrite: a committed entry is absorbed by the matcher
+			// (or skipped by Choose); an aborted one is contended again.
+		}
 
 		// Snapshot the plan before Store injection: the whole-job
 		// repository entry must describe the job without ReStore's
 		// instrumentation.
 		cleanPlan := job.Plan.Clone()
 
-		candidates := enum.Enumerate(job)
+		candidates := append(existing, enum.Inject(job, injectable)...)
 
-		stats, err := eng.RunContext(ctx, job)
+		stats, err := eng.RunContextObserved(ctx, job, func(done, total int, sim time.Duration) {
+			progress(job.ID, done, total, sim)
+		})
 		if err != nil {
+			abortHeld()
 			if ctx.Err() != nil {
 				notify(job.ID, JobCanceled)
 			} else {
@@ -385,6 +565,26 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 		}
 		out.stats = stats
 		out.stored, out.deferred, out.extraBytes = d.register(opts, eng, repo, job, cleanPlan, candidates, stats, finalJob[job.ID])
+
+		// Resolve claims: every registered entry commits its claim so
+		// waiting queries wake and reuse it; claims whose entries the
+		// sub-job selector rejected abort, releasing the fingerprint.
+		if len(held) > 0 {
+			byFP := make(map[string]*Entry, len(out.stored))
+			for _, e := range out.stored {
+				byFP[e.Plan.Fingerprint()] = e
+			}
+			for fp, c := range held {
+				if e := byFP[fp]; e != nil {
+					store.Commit(c, e)
+				} else {
+					store.Abort(c)
+				}
+			}
+			held = map[string]*Claim{}
+		}
+
+		progress(job.ID, stats.MapTasks+stats.RedTasks, stats.MapTasks+stats.RedTasks, stats.SimTime)
 		notify(job.ID, JobDone)
 		return nil
 	}
@@ -464,14 +664,12 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 	if opts.DeleteTemps && !opts.storesAnything() {
 		deleteTemps(eng, wf, jobs)
 	}
-	if opts.EvictionWindow > 0 {
-		for _, e := range repo.Vacuum(eng.FS(), d.Now(), opts.EvictionWindow) {
-			// Reclaim the space of evicted sub-job outputs; user-visible
-			// outputs (whole final jobs) are left in place.
-			if !e.WholeJob {
-				_ = eng.FS().Delete(e.OutputPath)
-			}
-		}
+	// Post-execution storage maintenance: the reuse-window and validity
+	// vacuum (Rules 3 and 4, reclaiming evicted sub-job outputs;
+	// user-visible whole-job outputs are left in place) and, when a byte
+	// budget is configured, policy-driven eviction back under it.
+	if store != nil && (opts.EvictionWindow > 0 || store.MaxBytes() > 0) {
+		store.Sweep(d.Now(), opts.EvictionWindow)
 	}
 
 	res.WallTime = time.Since(start)

@@ -128,27 +128,27 @@ func groupAllPackage(plan *physical.Plan, pkg *physical.Op) bool {
 	return false
 }
 
-// Enumerate injects materialization points into the job plan and
-// returns the candidates created. An operator whose output the job
-// already stores yields a zero-cost Existing candidate at the store's
-// path — the job's own output doubles as a stored sub-job, so whole-job
-// outputs enter the repository through enumeration, as in the paper.
-func (en *Enumerator) Enumerate(job *physical.Job) []Candidate {
+// Choose selects the sub-job materialization points of the job's
+// current plan without mutating it. It returns the zero-cost Existing
+// candidates (operators whose output the job already stores — the
+// job's own output doubles as a stored sub-job, so whole-job outputs
+// enter the repository through enumeration, as in the paper) and the
+// operators whose outputs would need a Store injected. The split from
+// Inject lets the driver claim each target's plan fingerprint before
+// committing to materialize it: a concurrent query may already be
+// materializing the same sub-job.
+func (en *Enumerator) Choose(job *physical.Job) (existing []Candidate, targets []*physical.Op) {
 	if en.Heuristic == HeuristicOff {
-		return nil
+		return nil, nil
 	}
 	plan := job.Plan
 	succ := plan.Successors()
-
-	// Choose targets on the clean plan before mutating it.
-	var targets []*physical.Op
-	var out []Candidate
 	for _, op := range plan.Topo() {
 		if !en.eligible(plan, op) {
 			continue
 		}
 		if sp := storedPath(plan, succ, op.ID); sp != "" {
-			out = append(out, Candidate{OpID: op.ID, Path: sp, Existing: true})
+			existing = append(existing, Candidate{OpID: op.ID, Path: sp, Existing: true})
 			continue
 		}
 		if en.SkipExisting != nil && en.SkipExisting(SigOf(plan.PrefixPlan(op.ID, "candidate"))) {
@@ -156,13 +156,28 @@ func (en *Enumerator) Enumerate(job *physical.Job) []Candidate {
 		}
 		targets = append(targets, op)
 	}
+	return existing, targets
+}
 
+// Inject materializes the chosen targets: each gets a Split+Store pair
+// spliced into the plan, and the returned candidates carry their
+// materialization paths.
+func (en *Enumerator) Inject(job *physical.Job, targets []*physical.Op) []Candidate {
+	var out []Candidate
 	for _, op := range targets {
 		path := en.PathFor(job, op.ID)
-		injectStore(plan, op.ID, path)
+		injectStore(job.Plan, op.ID, path)
 		out = append(out, Candidate{OpID: op.ID, Path: path})
 	}
 	return out
+}
+
+// Enumerate injects materialization points into the job plan and
+// returns the candidates created: Choose followed by Inject of every
+// target.
+func (en *Enumerator) Enumerate(job *physical.Job) []Candidate {
+	existing, targets := en.Choose(job)
+	return append(existing, en.Inject(job, targets)...)
 }
 
 // storedPath returns the Store destination when every consumer of op is

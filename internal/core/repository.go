@@ -78,6 +78,12 @@ type Entry struct {
 // All methods are safe for concurrent use: ReStore sits between many
 // clients and the cluster, and concurrent Execute calls insert, match
 // and evict against one shared repository.
+//
+// The Repository is deliberately passive — an ordered, synchronized
+// map. The policies that make it a managed shared resource (the
+// cross-query claim protocol, the byte budget and its eviction
+// policies, orphan reclamation) live in StorageManager, which wraps a
+// Repository and drives Vacuum/EvictUnpinned under the pin machinery.
 type Repository struct {
 	mu      sync.RWMutex
 	entries []*Entry
@@ -204,6 +210,30 @@ func (r *Repository) before(a, b *Entry) bool {
 		return ra > rb
 	}
 	return a.Stats.JobSimTime > b.Stats.JobSimTime
+}
+
+// EvictUnpinned removes the entries with the given IDs under the
+// repository lock, sparing pinned ones — an in-flight rewrite reading a
+// stored output keeps it alive regardless of what the eviction policy
+// chose — and returns the entries actually removed, in the given order.
+func (r *Repository) EvictUnpinned(ids []string) []*Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var removed []*Entry
+	for _, id := range ids {
+		if r.pinned(id) {
+			continue
+		}
+		for i, e := range r.entries {
+			if e.ID == id {
+				r.entries = append(r.entries[:i], r.entries[i+1:]...)
+				delete(r.byFP, e.Plan.Fingerprint())
+				removed = append(removed, e)
+				break
+			}
+		}
+	}
+	return removed
 }
 
 // Remove deletes an entry by ID and returns it, or nil.

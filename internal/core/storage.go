@@ -1,0 +1,535 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dfs"
+)
+
+// StorageManager is the active half of the repository: where Repository
+// is a passive ordered map of stored outputs, the manager owns the
+// policies that make those outputs a shared, bounded resource across
+// concurrent queries. It provides three services:
+//
+//   - The claim protocol. Before materializing a sub-job output, an
+//     execution claims the output's plan fingerprint; a concurrent
+//     execution hitting a claimed fingerprint blocks (context-aware)
+//     until the winner commits, then reuses the freshly committed entry
+//     instead of materializing its own copy. Duplicate cross-query work
+//     becomes in-flight sharing.
+//
+//   - Byte-budgeted eviction. MaxBytes bounds the bytes the repository
+//     retains; when an execution or the janitor sweeps while over
+//     budget, the configured EvictionPolicy picks victims. Evictions
+//     run under the repository's pin machinery, so entries referenced
+//     by in-flight rewrites are never deleted.
+//
+//   - Orphan reclamation. VacuumOrphans deletes per-query DFS
+//     namespaces (restore/<qid>, tmp/<qid>) whose query is no longer
+//     in flight and whose data no repository entry references — the
+//     debris of cancelled and failed queries, and the unreferenced
+//     temporaries of completed ones.
+//
+// All methods are safe for concurrent use.
+type StorageManager struct {
+	repo     *Repository
+	fs       *dfs.FS
+	maxBytes int64
+	policy   EvictionPolicy
+
+	mu     sync.Mutex
+	claims map[string]*Claim
+
+	// Counters for StorageStats, all monotonic.
+	claimsGranted   atomic.Int64
+	claimsCommitted atomic.Int64
+	claimsAborted   atomic.Int64
+	claimWaits      atomic.Int64
+	claimReuses     atomic.Int64
+	evictions       atomic.Int64
+	evictedBytes    atomic.Int64
+	sweeps          atomic.Int64
+	orphanDatasets  atomic.Int64
+	orphanBytes     atomic.Int64
+}
+
+// NewStorageManager returns a manager over the repository and file
+// system. maxBytes <= 0 disables budget enforcement; a nil policy
+// defaults to CostBenefitPolicy when a budget is set.
+func NewStorageManager(repo *Repository, fs *dfs.FS, maxBytes int64, policy EvictionPolicy) *StorageManager {
+	if policy == nil {
+		policy = CostBenefitPolicy{}
+	}
+	return &StorageManager{
+		repo:     repo,
+		fs:       fs,
+		maxBytes: maxBytes,
+		policy:   policy,
+		claims:   map[string]*Claim{},
+	}
+}
+
+// Repo returns the managed repository.
+func (m *StorageManager) Repo() *Repository { return m.repo }
+
+// MaxBytes returns the configured storage budget (0 = unbounded).
+func (m *StorageManager) MaxBytes() int64 { return m.maxBytes }
+
+// Claim is one granted materialization right: the holder is the only
+// execution allowed to materialize the output of the claimed plan
+// fingerprint until it commits or aborts.
+type Claim struct {
+	fp    string
+	owner string
+	done  chan struct{}
+	// entry is written by Commit before done closes; readers observe it
+	// only after <-done.
+	entry *Entry
+}
+
+// Fingerprint returns the claimed plan fingerprint.
+func (c *Claim) Fingerprint() string { return c.fp }
+
+// Owner returns the query ID the claim was granted to.
+func (c *Claim) Owner() string { return c.owner }
+
+// Wait blocks until the claim resolves or ctx is cancelled. It returns
+// the committed entry, nil if the winner aborted without committing, or
+// ctx.Err().
+func (c *Claim) Wait(ctx context.Context) (*Entry, error) {
+	select {
+	case <-c.done:
+		return c.entry, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TryClaim grants the fingerprint to owner if it is unclaimed. It
+// returns (claim, true) when the caller won and must later Commit or
+// Abort it, or (other holder's claim, false) for the caller to Wait on.
+func (m *StorageManager) TryClaim(fp, owner string) (*Claim, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c := m.claims[fp]; c != nil {
+		return c, false
+	}
+	c := &Claim{fp: fp, owner: owner, done: make(chan struct{})}
+	m.claims[fp] = c
+	m.claimsGranted.Add(1)
+	return c, true
+}
+
+// Commit resolves a won claim with the entry the winner registered;
+// waiters wake and reuse it. The entry itself is already in the
+// repository (the driver inserts at registration time).
+func (m *StorageManager) Commit(c *Claim, e *Entry) {
+	m.release(c)
+	c.entry = e
+	close(c.done)
+	m.claimsCommitted.Add(1)
+}
+
+// Abort resolves a won claim without an entry: the winner failed, was
+// cancelled, or its output was rejected by the sub-job selector.
+// Waiters wake and contend for the claim again (or proceed
+// independently, per their fallback policy).
+func (m *StorageManager) Abort(c *Claim) {
+	m.release(c)
+	close(c.done)
+	m.claimsAborted.Add(1)
+}
+
+func (m *StorageManager) release(c *Claim) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.claims[c.fp] == c {
+		delete(m.claims, c.fp)
+	}
+}
+
+// WaitShared blocks on another execution's claim, recording the wait
+// for StorageStats. A non-nil entry means the winner committed and the
+// waiting execution will reuse its output.
+func (m *StorageManager) WaitShared(ctx context.Context, c *Claim) (*Entry, error) {
+	m.claimWaits.Add(1)
+	e, err := c.Wait(ctx)
+	if e != nil {
+		m.claimReuses.Add(1)
+	}
+	return e, err
+}
+
+// EntryUsage is the eviction-relevant snapshot of one entry: its stored
+// byte footprint and usage recency, captured under the repository lock.
+// Policies must read the mutable usage fields (LastUse, TimesReused)
+// from this snapshot, not from Entry, whose counters may be updated
+// concurrently.
+type EntryUsage struct {
+	Entry       *Entry
+	Bytes       int64
+	LastUse     time.Duration // max(StoredAt, LastReused) at snapshot time
+	TimesReused int
+}
+
+// EvictionPolicy selects repository entries to evict when the store
+// exceeds its byte budget. Victims returns entry IDs in eviction order;
+// reclaim is how many bytes must go to return under budget. The manager
+// applies the whole list (skipping pinned entries), so a policy that
+// wants to evict no more than necessary should bound its list by
+// reclaim itself.
+type EvictionPolicy interface {
+	Name() string
+	Victims(usage []EntryUsage, now time.Duration, reclaim int64) []string
+}
+
+// ReuseWindowPolicy is the paper's Rule 3 adapted to a budget: every
+// entry idle longer than Window is evicted outright (most idle first),
+// and if that alone does not reclaim enough, the least recently used of
+// the remaining entries follow.
+type ReuseWindowPolicy struct {
+	Window time.Duration
+}
+
+// Name implements EvictionPolicy.
+func (p ReuseWindowPolicy) Name() string { return "reuse-window" }
+
+// Victims implements EvictionPolicy.
+func (p ReuseWindowPolicy) Victims(usage []EntryUsage, now time.Duration, reclaim int64) []string {
+	byIdle := append([]EntryUsage(nil), usage...)
+	sort.SliceStable(byIdle, func(i, j int) bool { return byIdle[i].LastUse < byIdle[j].LastUse })
+	var out []string
+	var freed int64
+	for _, u := range byIdle {
+		expired := p.Window > 0 && now-u.LastUse > p.Window
+		if !expired && freed >= reclaim {
+			break
+		}
+		out = append(out, u.Entry.ID)
+		freed += u.Bytes
+	}
+	return out
+}
+
+// LRUPolicy evicts the least recently used entries first — an entry's
+// last use is when it was stored or last answered a rewrite — taking
+// only as many as the reclaim target needs.
+type LRUPolicy struct{}
+
+// Name implements EvictionPolicy.
+func (LRUPolicy) Name() string { return "lru" }
+
+// Victims implements EvictionPolicy.
+func (LRUPolicy) Victims(usage []EntryUsage, now time.Duration, reclaim int64) []string {
+	byUse := append([]EntryUsage(nil), usage...)
+	sort.SliceStable(byUse, func(i, j int) bool { return byUse[i].LastUse < byUse[j].LastUse })
+	var out []string
+	var freed int64
+	for _, u := range byUse {
+		if freed >= reclaim {
+			break
+		}
+		out = append(out, u.Entry.ID)
+		freed += u.Bytes
+	}
+	return out
+}
+
+// CostBenefitPolicy evicts the entries with the least reuse benefit per
+// stored byte first: an entry's benefit is its Rule 2 input/output
+// ratio (EntryStats.ioRatio) weighted by how often it has answered a
+// rewrite, divided by the bytes it occupies.
+type CostBenefitPolicy struct{}
+
+// Name implements EvictionPolicy.
+func (CostBenefitPolicy) Name() string { return "cost-benefit" }
+
+// Victims implements EvictionPolicy.
+func (CostBenefitPolicy) Victims(usage []EntryUsage, now time.Duration, reclaim int64) []string {
+	density := func(u EntryUsage) float64 {
+		b := u.Bytes
+		if b <= 0 {
+			b = 1
+		}
+		return u.Entry.Stats.ioRatio() * float64(1+u.TimesReused) / float64(b)
+	}
+	byBenefit := append([]EntryUsage(nil), usage...)
+	sort.SliceStable(byBenefit, func(i, j int) bool { return density(byBenefit[i]) < density(byBenefit[j]) })
+	var out []string
+	var freed int64
+	for _, u := range byBenefit {
+		if freed >= reclaim {
+			break
+		}
+		out = append(out, u.Entry.ID)
+		freed += u.Bytes
+	}
+	return out
+}
+
+// ParseEvictionPolicy resolves a policy by name ("reuse-window", "lru",
+// "cost-benefit"); the reuse-window policy takes its window separately.
+func ParseEvictionPolicy(name string, window time.Duration) (EvictionPolicy, bool) {
+	switch name {
+	case "reuse-window", "window":
+		return ReuseWindowPolicy{Window: window}, true
+	case "lru":
+		return LRUPolicy{}, true
+	case "cost-benefit", "costbenefit", "cb":
+		return CostBenefitPolicy{}, true
+	}
+	return nil, false
+}
+
+// UsageBytes returns the bytes the repository currently retains: the
+// total size of every distinct stored output.
+func (m *StorageManager) UsageBytes() int64 {
+	_, total := m.usage()
+	return total
+}
+
+// usage snapshots per-entry usage and the distinct-path byte total
+// (two entries can share one output path; it is stored once). Sizes
+// come from one DatasetSizes snapshot: stored outputs are leaf
+// datasets (the engine writes part files directly under OutputPath),
+// so a single map lookup answers each entry, with a prefix scan only
+// for the rare path that is not itself a dataset.
+func (m *StorageManager) usage() ([]EntryUsage, int64) {
+	sizes := m.fs.DatasetSizes()
+	sizeOf := func(path string) int64 {
+		p := cleanPath(path)
+		if n, ok := sizes[p]; ok {
+			return n
+		}
+		var n int64
+		prefix := p + "/"
+		for d, b := range sizes {
+			if strings.HasPrefix(d, prefix) {
+				n += b
+			}
+		}
+		return n
+	}
+	var out []EntryUsage
+	seen := map[string]int64{}
+	m.repo.Scan(func(e *Entry) bool {
+		u := EntryUsage{Entry: e, Bytes: sizeOf(e.OutputPath)}
+		u.LastUse, u.TimesReused = e.StoredAt, e.TimesReused
+		if e.LastReused > u.LastUse {
+			u.LastUse = e.LastReused
+		}
+		out = append(out, u)
+		seen[e.OutputPath] = u.Bytes
+		return true
+	})
+	var total int64
+	for _, b := range seen {
+		total += b
+	}
+	return out, total
+}
+
+// EnforceBudget evicts entries per the configured policy until the
+// retained bytes fit MaxBytes, sparing pinned entries; it returns the
+// entries removed. Stored outputs are deleted from the DFS when the
+// repository owns them (sub-job outputs) and no surviving entry still
+// references the path; whole-job outputs are user- or temp-visible data
+// the repository only points at, and are left for the janitor or the
+// user.
+func (m *StorageManager) EnforceBudget(now time.Duration) []*Entry {
+	if m.maxBytes <= 0 {
+		return nil
+	}
+	var all []*Entry
+	for {
+		usage, total := m.usage()
+		if total <= m.maxBytes {
+			break
+		}
+		// Pinned entries count against the budget but cannot be evicted;
+		// offering them to the policy would let a pin stall convergence
+		// (the policy would keep nominating victims the repository
+		// refuses to drop).
+		candidates := usage[:0]
+		for _, u := range usage {
+			if !m.repo.pinned(u.Entry.ID) {
+				candidates = append(candidates, u)
+			}
+		}
+		victims := m.policy.Victims(candidates, now, total-m.maxBytes)
+		removed := m.repo.EvictUnpinned(victims)
+		if len(removed) == 0 {
+			break // everything left is pinned (or the policy yielded nothing)
+		}
+		m.deleteOwnedOutputs(removed)
+		m.evictions.Add(int64(len(removed)))
+		_, after := m.usage()
+		m.evictedBytes.Add(total - after)
+		all = append(all, removed...)
+	}
+	return all
+}
+
+// deleteOwnedOutputs removes the DFS outputs of evicted sub-job entries
+// whose paths no surviving entry references.
+func (m *StorageManager) deleteOwnedOutputs(removed []*Entry) {
+	stillRef := map[string]bool{}
+	m.repo.Scan(func(e *Entry) bool {
+		stillRef[e.OutputPath] = true
+		return true
+	})
+	for _, e := range removed {
+		if !e.WholeJob && !stillRef[e.OutputPath] {
+			_ = m.fs.Delete(e.OutputPath)
+		}
+	}
+}
+
+// SweepResult reports one storage sweep.
+type SweepResult struct {
+	// EntriesVacuumed counts entries removed by the validity and
+	// reuse-window rules (Rules 3 and 4).
+	EntriesVacuumed int
+	// EntriesEvicted counts entries evicted by the budget policy.
+	EntriesEvicted int
+	// OrphanDatasets and OrphanBytes report dead per-query namespaces
+	// reclaimed (janitor sweeps only).
+	OrphanDatasets int
+	OrphanBytes    int64
+}
+
+// Sweep runs one maintenance pass: Rule 4 (invalid entries), Rule 3
+// (entries idle beyond window, when window > 0), then budget
+// enforcement. The driver calls it after executions that store or
+// evict; the janitor calls it periodically with the orphan vacuum.
+func (m *StorageManager) Sweep(now, window time.Duration) SweepResult {
+	m.sweeps.Add(1)
+	var res SweepResult
+	vacuumed := m.repo.Vacuum(m.fs, now, window)
+	res.EntriesVacuumed = len(vacuumed)
+	m.deleteOwnedOutputs(vacuumed)
+	res.EntriesEvicted = len(m.EnforceBudget(now))
+	return res
+}
+
+// VacuumOrphans deletes the per-query DFS namespaces (restore/<qid>/…
+// and tmp/<qid>/…) of queries that are neither live nor referenced by
+// any repository entry: the sub-job outputs and staged temporaries of
+// cancelled or failed queries, and the unreferenced inter-job
+// temporaries of completed ones.
+//
+// live is consulted immediately before each delete and must answer
+// from BOTH a snapshot taken before this call and the current
+// registry: the early snapshot protects a query that registered
+// entries and completed after it (its roots are collected here, which
+// is newer), and the at-delete check protects a query submitted after
+// the snapshot whose namespace is being written right now.
+func (m *StorageManager) VacuumOrphans(live func(queryID string) bool) (int, int64) {
+	var roots []string
+	m.repo.Scan(func(e *Entry) bool {
+		roots = append(roots, cleanPath(e.OutputPath))
+		for p := range e.InputVersions {
+			roots = append(roots, cleanPath(p))
+		}
+		return true
+	})
+	referenced := func(ds string) bool {
+		for _, r := range roots {
+			if ds == r || strings.HasPrefix(ds, r+"/") || strings.HasPrefix(r, ds+"/") {
+				return true
+			}
+		}
+		return false
+	}
+	var count int
+	var bytes int64
+	for _, ns := range []string{"restore", "tmp"} {
+		for _, ds := range m.fs.Datasets(ns) {
+			qid := queryIDOf(ds)
+			if qid == "" || live(qid) || referenced(ds) {
+				continue
+			}
+			n := m.fs.Size(ds)
+			if m.fs.Delete(ds) == nil {
+				count++
+				bytes += n
+			}
+		}
+	}
+	m.orphanDatasets.Add(int64(count))
+	m.orphanBytes.Add(bytes)
+	return count, bytes
+}
+
+// queryIDOf extracts the query ID from a per-query namespace path
+// ("restore/q3/j1/op2" → "q3"); "" when the path has no query segment.
+func queryIDOf(ds string) string {
+	parts := strings.SplitN(ds, "/", 3)
+	if len(parts) < 2 {
+		return ""
+	}
+	return parts[1]
+}
+
+// cleanPath normalizes a stored path the way the DFS does.
+func cleanPath(p string) string {
+	return strings.TrimSuffix(strings.TrimPrefix(p, "/"), "/")
+}
+
+// StorageStats is a point-in-time snapshot of the storage manager.
+type StorageStats struct {
+	// Entries and UsageBytes describe the repository: how many outputs
+	// it retains and their distinct-path byte total. BudgetBytes is the
+	// configured cap (0 = unbounded) and Policy the eviction policy.
+	Entries     int
+	UsageBytes  int64
+	BudgetBytes int64
+	Policy      string
+
+	// Claim protocol counters. ActiveClaims is the current in-flight
+	// count; Granted/Committed/Aborted are cumulative. Waits counts
+	// executions that blocked on another query's claim, and Shared how
+	// many of those woke to a committed entry they then reused.
+	ActiveClaims    int
+	ClaimsGranted   int64
+	ClaimsCommitted int64
+	ClaimsAborted   int64
+	ClaimWaits      int64
+	ClaimsShared    int64
+
+	// Eviction and janitor counters.
+	Evictions      int64
+	EvictedBytes   int64
+	Sweeps         int64
+	OrphanDatasets int64
+	OrphanBytes    int64
+}
+
+// Stats snapshots the manager's counters and current usage.
+func (m *StorageManager) Stats() StorageStats {
+	m.mu.Lock()
+	active := len(m.claims)
+	m.mu.Unlock()
+	return StorageStats{
+		Entries:         m.repo.Len(),
+		UsageBytes:      m.UsageBytes(),
+		BudgetBytes:     m.maxBytes,
+		Policy:          m.policy.Name(),
+		ActiveClaims:    active,
+		ClaimsGranted:   m.claimsGranted.Load(),
+		ClaimsCommitted: m.claimsCommitted.Load(),
+		ClaimsAborted:   m.claimsAborted.Load(),
+		ClaimWaits:      m.claimWaits.Load(),
+		ClaimsShared:    m.claimReuses.Load(),
+		Evictions:       m.evictions.Load(),
+		EvictedBytes:    m.evictedBytes.Load(),
+		Sweeps:          m.sweeps.Load(),
+		OrphanDatasets:  m.orphanDatasets.Load(),
+		OrphanBytes:     m.orphanBytes.Load(),
+	}
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+)
+
+// storedEntry inserts an entry whose output physically exists on fs
+// with size bytes, so budget accounting sees real data.
+func storedEntry(t *testing.T, repo *Repository, fs *dfs.FS, id, loadPath string, size int, stats EntryStats) *Entry {
+	t.Helper()
+	e := entryFor(t, fmt.Sprintf(`
+A = load '%s' as (a, b);
+B = foreach A generate a;
+store B into 'o';
+`, loadPath), id, stats)
+	if err := fs.WriteFile(e.OutputPath+"/part-00000", make([]byte, size)); err != nil {
+		t.Fatal(err)
+	}
+	e.InputVersions = map[string]int64{loadPath: fs.Version(loadPath)}
+	return repo.Insert(e)
+}
+
+func TestClaimProtocolBasics(t *testing.T) {
+	m := NewStorageManager(NewRepository(), dfs.New(), 0, nil)
+
+	c1, won := m.TryClaim("fp1", "q1")
+	if !won {
+		t.Fatal("first TryClaim lost")
+	}
+	c2, won := m.TryClaim("fp1", "q2")
+	if won {
+		t.Fatal("second TryClaim of a held fingerprint won")
+	}
+	if c2 != c1 {
+		t.Fatal("loser did not receive the holder's claim")
+	}
+	if c1.Owner() != "q1" || c1.Fingerprint() != "fp1" {
+		t.Errorf("claim identity = %s/%s", c1.Owner(), c1.Fingerprint())
+	}
+
+	// A waiter wakes with the committed entry.
+	entry := &Entry{ID: "e1"}
+	got := make(chan *Entry, 1)
+	go func() {
+		e, _ := m.WaitShared(context.Background(), c2)
+		got <- e
+	}()
+	m.Commit(c1, entry)
+	if e := <-got; e != entry {
+		t.Fatalf("waiter got %v, want the committed entry", e)
+	}
+
+	// The fingerprint is claimable again after resolution.
+	c3, won := m.TryClaim("fp1", "q3")
+	if !won {
+		t.Fatal("fingerprint not released after commit")
+	}
+	// Aborting wakes waiters with nil.
+	if e, err := func() (*Entry, error) {
+		ch := make(chan struct{})
+		var e *Entry
+		var err error
+		go func() { e, err = m.WaitShared(context.Background(), c3); close(ch) }()
+		m.Abort(c3)
+		<-ch
+		return e, err
+	}(); e != nil || err != nil {
+		t.Fatalf("aborted claim: entry=%v err=%v, want nil/nil", e, err)
+	}
+
+	st := m.Stats()
+	if st.ClaimsGranted != 2 || st.ClaimsCommitted != 1 || st.ClaimsAborted != 1 {
+		t.Errorf("claim counters = %+v", st)
+	}
+	if st.ClaimWaits != 2 || st.ClaimsShared != 1 {
+		t.Errorf("wait counters = %+v", st)
+	}
+}
+
+func TestClaimWaitRespectsContext(t *testing.T) {
+	m := NewStorageManager(NewRepository(), dfs.New(), 0, nil)
+	c, _ := m.TryClaim("fp", "winner")
+	other, won := m.TryClaim("fp", "loser")
+	if won {
+		t.Fatal("expected to lose")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := other.Wait(ctx); err != context.Canceled {
+		t.Fatalf("Wait under cancelled ctx = %v, want context.Canceled", err)
+	}
+	m.Abort(c)
+}
+
+func TestEvictionPolicies(t *testing.T) {
+	now := 10 * time.Hour
+	mk := func(id string, lastUse time.Duration, bytes int64, ratio float64, reused int) EntryUsage {
+		return EntryUsage{
+			Entry:       &Entry{ID: id, Stats: EntryStats{InputSimBytes: int64(ratio * 100), OutputSimBytes: 100}},
+			Bytes:       bytes,
+			LastUse:     lastUse,
+			TimesReused: reused,
+		}
+	}
+	usage := []EntryUsage{
+		mk("old", 1*time.Hour, 100, 5, 0),     // idle 9h
+		mk("mid", 5*time.Hour, 100, 1, 0),     // idle 5h, low benefit
+		mk("fresh", 9*time.Hour, 100, 50, 3),  // idle 1h, high benefit
+		mk("bulky", 8*time.Hour, 1000, 50, 0), // idle 2h, low density
+	}
+
+	t.Run("reuse-window evicts expired outright", func(t *testing.T) {
+		p := ReuseWindowPolicy{Window: 4 * time.Hour}
+		// reclaim 0: only the expired entries (idle > 4h) go, most idle
+		// first.
+		got := p.Victims(usage, now, 0)
+		if len(got) != 2 || got[0] != "old" || got[1] != "mid" {
+			t.Errorf("expired victims = %v, want [old mid]", got)
+		}
+		// A big reclaim pulls in unexpired entries, LRU order.
+		got = p.Victims(usage, now, 300)
+		if len(got) != 3 || got[2] != "bulky" {
+			t.Errorf("victims = %v, want [old mid bulky]", got)
+		}
+	})
+
+	t.Run("lru stops at the reclaim target", func(t *testing.T) {
+		got := LRUPolicy{}.Victims(usage, now, 150)
+		if len(got) != 2 || got[0] != "old" || got[1] != "mid" {
+			t.Errorf("victims = %v, want [old mid]", got)
+		}
+	})
+
+	t.Run("cost-benefit evicts lowest density first", func(t *testing.T) {
+		got := CostBenefitPolicy{}.Victims(usage, now, 150)
+		// densities: mid=0.01, bulky=0.05, old=0.05, fresh=2 → mid, then
+		// one of {bulky, old} (stable sort keeps input order: old before
+		// bulky at equal density).
+		if len(got) < 2 || got[0] != "mid" {
+			t.Errorf("victims = %v, want mid first", got)
+		}
+		for _, id := range got {
+			if id == "fresh" {
+				t.Errorf("high-benefit entry evicted: %v", got)
+			}
+		}
+	})
+}
+
+func TestEnforceBudgetConvergesAndSparesPins(t *testing.T) {
+	for _, policy := range []EvictionPolicy{
+		ReuseWindowPolicy{Window: time.Hour},
+		LRUPolicy{},
+		CostBenefitPolicy{},
+	} {
+		t.Run(policy.Name(), func(t *testing.T) {
+			fs := dfs.New()
+			repo := NewRepository()
+			m := NewStorageManager(repo, fs, 2500, policy)
+			var pinnedEntry *Entry
+			for i := 0; i < 5; i++ {
+				e := storedEntry(t, repo, fs, fmt.Sprintf("e%d", i), fmt.Sprintf("in%d", i), 1000,
+					EntryStats{InputSimBytes: int64(100 * (i + 1)), OutputSimBytes: 100})
+				e.StoredAt = time.Duration(i) * time.Minute
+				if i == 0 {
+					pinnedEntry = e
+					repo.Pin(e.ID)
+				}
+			}
+			if got := m.UsageBytes(); got != 5000 {
+				t.Fatalf("usage = %d, want 5000", got)
+			}
+			removed := m.EnforceBudget(10 * time.Hour)
+			if got := m.UsageBytes(); got > 2500 {
+				t.Fatalf("usage after enforcement = %d, want <= 2500 (removed %d)", got, len(removed))
+			}
+			for _, e := range removed {
+				if e.ID == pinnedEntry.ID {
+					t.Fatalf("pinned entry evicted")
+				}
+				if fs.Exists(e.OutputPath) {
+					t.Errorf("evicted sub-job output %s not deleted", e.OutputPath)
+				}
+			}
+			if !fs.Exists(pinnedEntry.OutputPath) {
+				t.Errorf("pinned entry's output deleted")
+			}
+			repo.Unpin(pinnedEntry.ID)
+		})
+	}
+}
+
+func TestEvictUnpinnedSkipsPinned(t *testing.T) {
+	fs := dfs.New()
+	repo := NewRepository()
+	a := storedEntry(t, repo, fs, "a", "in1", 10, EntryStats{})
+	b := storedEntry(t, repo, fs, "b", "in2", 10, EntryStats{})
+	repo.Pin(a.ID)
+	removed := repo.EvictUnpinned([]string{a.ID, b.ID})
+	if len(removed) != 1 || removed[0].ID != b.ID {
+		t.Fatalf("removed = %v, want only b", removed)
+	}
+	if repo.Lookup(a.Plan) == nil {
+		t.Error("pinned entry removed from repository")
+	}
+	repo.Unpin(a.ID)
+}
+
+func TestVacuumOrphans(t *testing.T) {
+	fs := dfs.New()
+	repo := NewRepository()
+	m := NewStorageManager(repo, fs, 0, nil)
+
+	write := func(path string) {
+		if err := fs.WriteFile(path, []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// q1: dead, but its sub-job output is a registered entry and its
+	// temp output is an entry input — both namespaces must survive.
+	e := entryFor(t, `
+A = load 'tmp/q1/j1' as (a, b);
+B = foreach A generate a;
+store B into 'o';
+`, "keep", EntryStats{})
+	e.OutputPath = "restore/q1/j1/op3"
+	write("restore/q1/j1/op3/part-00000")
+	write("tmp/q1/j1/part-00000")
+	e.InputVersions = map[string]int64{"tmp/q1/j1": fs.Version("tmp/q1/j1")}
+	repo.Insert(e)
+
+	// q2: dead with no entries — everything goes.
+	write("restore/q2/j1/op5/part-00000")
+	write("tmp/q2/j1/part-00000")
+	write("tmp/q2/.staged/out/part-00000")
+
+	// q3: live — untouched even without entries.
+	write("tmp/q3/j1/part-00000")
+
+	// User data outside the managed namespaces is never touched.
+	write("events/part-00000")
+
+	n, bytes := m.VacuumOrphans(func(qid string) bool { return qid == "q3" })
+	if n != 3 || bytes != 12 {
+		t.Errorf("reclaimed %d datasets / %d bytes, want 3 / 12", n, bytes)
+	}
+	for _, p := range []string{"restore/q1/j1/op3", "tmp/q1/j1", "tmp/q3/j1", "events"} {
+		if !fs.Exists(p) {
+			t.Errorf("%s deleted, want kept", p)
+		}
+	}
+	for _, p := range []string{"restore/q2", "tmp/q2"} {
+		if fs.Exists(p) {
+			t.Errorf("%s kept, want deleted", p)
+		}
+	}
+}
+
+// BenchmarkEnforceBudget measures one over-budget sweep across a
+// populated repository (the storage half of the CI benchmark job).
+func BenchmarkEnforceBudget(b *testing.B) {
+	fs := dfs.New()
+	repo := NewRepository()
+	for i := 0; i < 200; i++ {
+		sig := benchSig(b, fmt.Sprintf(`
+A = load 'in%d' as (a, b);
+B = foreach A generate a;
+store B into 'o';
+`, i))
+		e := &Entry{Plan: sig, OutputPath: fmt.Sprintf("stored/e%d", i),
+			Stats: EntryStats{InputSimBytes: int64(i + 1), OutputSimBytes: 1}}
+		if err := fs.WriteFile(e.OutputPath+"/part-00000", make([]byte, 100)); err != nil {
+			b.Fatal(err)
+		}
+		repo.Insert(e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A budget above usage: the sweep scans and accounts but evicts
+		// nothing, so the repository stays populated across iterations.
+		m := NewStorageManager(repo, fs, 1<<40, CostBenefitPolicy{})
+		m.EnforceBudget(time.Hour)
+	}
+}
+
+// BenchmarkClaims measures the uncontended claim round-trip every
+// storing job pays.
+func BenchmarkClaims(b *testing.B) {
+	m := NewStorageManager(NewRepository(), dfs.New(), 0, nil)
+	entry := &Entry{ID: "e"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, won := m.TryClaim("fp", "q")
+		if !won {
+			b.Fatal("lost an uncontended claim")
+		}
+		m.Commit(c, entry)
+	}
+}

@@ -5,9 +5,13 @@
 // written by the tasks of a job.
 //
 // The implementation is an in-memory store with the metadata ReStore
-// needs: per-path modification versions (repository eviction Rule 4
-// evicts entries whose inputs were deleted or modified) and global byte
-// meters that feed the cluster cost model.
+// needs: per-dataset modification versions (repository eviction Rule 4
+// evicts entries whose inputs were deleted or modified — versions are
+// tracked at dataset granularity, where a dataset is the directory
+// holding a job's part files), per-dataset byte accounting (the storage
+// manager's budget enforcement and the janitor's orphan sweep read
+// dataset sizes in O(datasets), never O(files)), and global byte meters
+// that feed the cluster cost model.
 package dfs
 
 import (
@@ -25,7 +29,12 @@ type FS struct {
 	mu      sync.RWMutex
 	files   map[string]*file
 	version map[string]int64 // per top-level dataset path
-	nextVer int64
+	// datasets holds the live byte and file totals of every dataset,
+	// maintained on write, delete and rename, so size queries and the
+	// storage manager's budget accounting iterate datasets instead of
+	// files.
+	datasets map[string]*dsInfo
+	nextVer  int64
 
 	bytesRead    int64
 	bytesWritten int64
@@ -35,11 +44,18 @@ type file struct {
 	data []byte
 }
 
+// dsInfo is the live accounting of one dataset.
+type dsInfo struct {
+	bytes int64
+	files int
+}
+
 // New returns an empty file system.
 func New() *FS {
 	return &FS{
-		files:   make(map[string]*file),
-		version: make(map[string]int64),
+		files:    make(map[string]*file),
+		version:  make(map[string]int64),
+		datasets: make(map[string]*dsInfo),
 	}
 }
 
@@ -81,8 +97,12 @@ func (w *fileWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
 func (w *fileWriter) Close() error {
 	w.fs.mu.Lock()
 	defer w.fs.mu.Unlock()
+	if old, ok := w.fs.files[w.path]; ok {
+		w.fs.accountLocked(w.path, -int64(len(old.data)), -1)
+	}
 	w.fs.files[w.path] = &file{data: append([]byte(nil), w.buf.Bytes()...)}
 	w.fs.bytesWritten += int64(w.buf.Len())
+	w.fs.accountLocked(w.path, int64(w.buf.Len()), 1)
 	w.fs.bumpLocked(datasetOf(w.path))
 	return nil
 }
@@ -90,6 +110,23 @@ func (w *fileWriter) Close() error {
 func (fs *FS) bumpLocked(dataset string) {
 	fs.nextVer++
 	fs.version[dataset] = fs.nextVer
+}
+
+// accountLocked adjusts the byte and file accounting of the dataset
+// containing path (mu held). A dataset whose last file is removed is
+// dropped from the accounting so Datasets reports only live data.
+func (fs *FS) accountLocked(path string, bytes int64, files int) {
+	ds := datasetOf(path)
+	info := fs.datasets[ds]
+	if info == nil {
+		info = &dsInfo{}
+		fs.datasets[ds] = info
+	}
+	info.bytes += bytes
+	info.files += files
+	if info.files <= 0 {
+		delete(fs.datasets, ds)
+	}
 }
 
 // WriteFile writes data to path in one call.
@@ -170,21 +207,57 @@ func (fs *FS) List(path string) []string {
 }
 
 // Size returns the total bytes stored under path (file or directory).
+// Dataset and directory totals come from the per-dataset accounting, so
+// the cost is proportional to the number of datasets, not files.
 func (fs *FS) Size(path string) int64 {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	p := clean(path)
 	var n int64
-	if f, ok := fs.files[p]; ok {
+	if info, ok := fs.datasets[p]; ok {
+		n += info.bytes
+	} else if f, ok := fs.files[p]; ok {
+		// p names a part file inside a dataset, not a dataset itself.
 		n += int64(len(f.data))
 	}
 	prefix := p + "/"
-	for name, f := range fs.files {
+	for name, info := range fs.datasets {
 		if strings.HasPrefix(name, prefix) {
-			n += int64(len(f.data))
+			n += info.bytes
 		}
 	}
 	return n
+}
+
+// DatasetSizes returns a snapshot of every dataset's byte total under
+// one lock acquisition — the storage manager's budget accounting sizes
+// hundreds of entry outputs from one snapshot instead of taking the
+// lock per path.
+func (fs *FS) DatasetSizes() map[string]int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make(map[string]int64, len(fs.datasets))
+	for name, info := range fs.datasets {
+		out[name] = info.bytes
+	}
+	return out
+}
+
+// Datasets returns the dataset paths holding data under prefix, sorted;
+// the empty prefix lists every dataset. A dataset is the directory
+// grouping a job's part files (or a standalone file's own path).
+func (fs *FS) Datasets(prefix string) []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	p := clean(prefix)
+	var out []string
+	for name := range fs.datasets {
+		if p == "" || name == p || strings.HasPrefix(name, p+"/") {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Delete removes the file or directory tree at path. Deleting bumps the
@@ -194,13 +267,15 @@ func (fs *FS) Delete(path string) error {
 	defer fs.mu.Unlock()
 	p := clean(path)
 	found := false
-	if _, ok := fs.files[p]; ok {
+	if f, ok := fs.files[p]; ok {
+		fs.accountLocked(p, -int64(len(f.data)), -1)
 		delete(fs.files, p)
 		found = true
 	}
 	prefix := p + "/"
-	for name := range fs.files {
+	for name, f := range fs.files {
 		if strings.HasPrefix(name, prefix) {
+			fs.accountLocked(name, -int64(len(f.data)), -1)
 			delete(fs.files, name)
 			found = true
 		}
@@ -230,27 +305,34 @@ func (fs *FS) Rename(oldPath, newPath string) (int64, error) {
 	moved := map[string][]byte{}
 	if f, ok := fs.files[op]; ok {
 		moved[np] = f.data
+		fs.accountLocked(op, -int64(len(f.data)), -1)
 		delete(fs.files, op)
 	}
 	prefix := op + "/"
 	for name, f := range fs.files {
 		if strings.HasPrefix(name, prefix) {
 			moved[np+"/"+name[len(prefix):]] = f.data
+			fs.accountLocked(name, -int64(len(f.data)), -1)
 			delete(fs.files, name)
 		}
 	}
 	if len(moved) == 0 {
 		return 0, &PathError{Op: "rename", Path: oldPath, Err: ErrNotExist}
 	}
-	delete(fs.files, np)
+	if f, ok := fs.files[np]; ok {
+		fs.accountLocked(np, -int64(len(f.data)), -1)
+		delete(fs.files, np)
+	}
 	nprefix := np + "/"
-	for name := range fs.files {
+	for name, f := range fs.files {
 		if strings.HasPrefix(name, nprefix) {
+			fs.accountLocked(name, -int64(len(f.data)), -1)
 			delete(fs.files, name)
 		}
 	}
 	for name, data := range moved {
 		fs.files[name] = &file{data: data}
+		fs.accountLocked(name, int64(len(data)), 1)
 	}
 	fs.bumpLocked(datasetOf(op))
 	fs.bumpLocked(datasetOf(np))
@@ -284,8 +366,8 @@ func (fs *FS) TotalBytes() int64 {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	var n int64
-	for _, f := range fs.files {
-		n += int64(len(f.data))
+	for _, info := range fs.datasets {
+		n += info.bytes
 	}
 	return n
 }

@@ -207,3 +207,82 @@ func TestRenameSingleFile(t *testing.T) {
 		t.Errorf("single-file rename broken")
 	}
 }
+
+// TestDatasetByteAccounting proves the per-dataset meters stay exact
+// through every mutation path: write, overwrite, delete, and rename
+// over an occupied destination.
+func TestDatasetByteAccounting(t *testing.T) {
+	fs := New()
+	fs.WriteFile("a/b/part-00000", []byte("12345"))
+	fs.WriteFile("a/b/part-00001", []byte("678"))
+	fs.WriteFile("a/c/part-00000", []byte("12"))
+	fs.WriteFile("top", []byte("1"))
+
+	if got := fs.Size("a/b"); got != 8 {
+		t.Errorf("Size(a/b) = %d, want 8", got)
+	}
+	if got := fs.Size("a"); got != 10 {
+		t.Errorf("Size(a) = %d, want 10", got)
+	}
+	if got := fs.Size("a/b/part-00001"); got != 3 {
+		t.Errorf("Size of one part file = %d, want 3", got)
+	}
+	if got := fs.TotalBytes(); got != 11 {
+		t.Errorf("TotalBytes = %d, want 11", got)
+	}
+
+	// Overwrite shrinks in place.
+	fs.WriteFile("a/b/part-00000", []byte("1"))
+	if got := fs.Size("a/b"); got != 4 {
+		t.Errorf("Size(a/b) after overwrite = %d, want 4", got)
+	}
+
+	// Rename over an occupied destination replaces its accounting.
+	if _, err := fs.Rename("a/b", "a/c"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Size("a/c"); got != 4 {
+		t.Errorf("Size(a/c) after rename = %d, want 4", got)
+	}
+	if got := fs.Size("a/b"); got != 0 {
+		t.Errorf("Size(a/b) after rename = %d, want 0", got)
+	}
+
+	// Delete clears the meter and the dataset listing.
+	if err := fs.Delete("a/c"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.TotalBytes(); got != 1 {
+		t.Errorf("TotalBytes after delete = %d, want 1", got)
+	}
+	got := fs.Datasets("")
+	if len(got) != 1 || got[0] != "top" {
+		t.Errorf("Datasets = %v, want [top]", got)
+	}
+}
+
+// TestDatasets lists dataset directories, not files, under a prefix.
+func TestDatasets(t *testing.T) {
+	fs := New()
+	fs.WriteFile("restore/q1/j1/op2/part-00000", []byte("x"))
+	fs.WriteFile("restore/q1/j1/op3/part-00000", []byte("x"))
+	fs.WriteFile("restore/q2/j1/op2/part-00000", []byte("x"))
+	fs.WriteFile("tmp/q1/j1/part-00000", []byte("x"))
+
+	got := fs.Datasets("restore/q1")
+	want := []string{"restore/q1/j1/op2", "restore/q1/j1/op3"}
+	if len(got) != len(want) {
+		t.Fatalf("Datasets(restore/q1) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Datasets[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if got := fs.Datasets("restore"); len(got) != 3 {
+		t.Errorf("Datasets(restore) = %v, want 3 datasets", got)
+	}
+	if got := fs.Datasets("nope"); len(got) != 0 {
+		t.Errorf("Datasets(nope) = %v, want none", got)
+	}
+}

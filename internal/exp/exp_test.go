@@ -170,3 +170,23 @@ func TestStudyConcurrentMeasure(t *testing.T) {
 		}
 	}
 }
+
+// TestFigureBShape runs the storage-budget experiment at test scale:
+// four rows (unbounded + three policies), every budgeted policy
+// converging under the budget (FigureB itself fails otherwise) with at
+// least one eviction.
+func TestFigureBShape(t *testing.T) {
+	shrinkScales(t)
+	rep, err := FigureB()
+	if err != nil {
+		t.Fatalf("FigureB: %v", err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rep.Rows))
+	}
+	for _, row := range rep.Rows[1:] {
+		if row[3] == "0" {
+			t.Errorf("policy %s evicted nothing under a halved budget", row[0])
+		}
+	}
+}

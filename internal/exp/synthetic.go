@@ -145,10 +145,11 @@ func Figure17() (*Report, error) {
 }
 
 // Order is the paper's presentation order of the experiments, the keys
-// of Runners.
+// of Runners; "figb" (the storage-budget eviction comparison) extends
+// the paper's evaluation.
 var Order = []string{
 	"fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-	"table1", "fig15", "table2", "fig16", "fig17",
+	"table1", "fig15", "table2", "fig16", "fig17", "figb",
 }
 
 // Runners returns every experiment keyed by name, with the sub-job
@@ -172,6 +173,7 @@ func Runners(st *Study) map[string]func() (*Report, error) {
 		"table2": Table2,
 		"fig16":  Figure16,
 		"fig17":  Figure17,
+		"figb":   FigureB,
 	}
 }
 

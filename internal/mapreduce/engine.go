@@ -133,6 +133,38 @@ func (e *Engine) Run(job *physical.Job) (*JobStats, error) {
 	return e.RunContext(context.Background(), job)
 }
 
+// Progress observes one running job's task completions: done counts
+// map and reduce tasks finished so far out of total, and simSoFar is
+// the accumulated simulated execution time of those tasks (a running
+// approximation of the job's eventual SimTime, which additionally
+// models wave scheduling and startup). Calls are serialized.
+type Progress func(done, total int, simSoFar time.Duration)
+
+// progressTracker serializes Progress callbacks across the concurrent
+// task goroutines of one job.
+type progressTracker struct {
+	mu    sync.Mutex
+	fn    Progress
+	done  int
+	total int
+	sim   time.Duration
+}
+
+// tick records one completed task. The callback runs under the
+// tracker's lock so deliveries are serialized and monotonic, as the
+// Progress contract promises; callbacks must therefore be quick and
+// must not call back into the engine.
+func (p *progressTracker) tick(taskTime time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	p.sim += taskTime
+	p.fn(p.done, p.total, p.sim)
+}
+
 // RunContext executes the job under ctx. Cancelling the context aborts
 // the job promptly: tasks that have not yet acquired an engine task
 // slot never start (their slots go back to the engine-wide pool for
@@ -140,6 +172,14 @@ func (e *Engine) Run(job *physical.Job) (*JobStats, error) {
 // work, and the returned error wraps ctx.Err(). A cancelled job writes
 // no statistics and must not be registered in the repository.
 func (e *Engine) RunContext(ctx context.Context, job *physical.Job) (*JobStats, error) {
+	return e.RunContextObserved(ctx, job, nil)
+}
+
+// RunContextObserved is RunContext with a task-level progress observer;
+// progress (when non-nil) fires after every completed map and reduce
+// task, making long jobs observable through the query-handle Status
+// API.
+func (e *Engine) RunContextObserved(ctx context.Context, job *physical.Job, progress Progress) (*JobStats, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("mapreduce: job %s: %w", job.ID, err)
@@ -176,7 +216,12 @@ func (e *Engine) RunContext(ctx context.Context, job *physical.Job) (*JobStats, 
 
 	stats := &JobStats{JobID: job.ID, Outputs: map[string]OutputStat{}}
 
-	mapResults, err := e.runMapPhase(ctx, job, seg, splits, numRed, stats)
+	var tracker *progressTracker
+	if progress != nil {
+		tracker = &progressTracker{fn: progress, total: len(splits) + numRed}
+	}
+
+	mapResults, err := e.runMapPhase(ctx, job, seg, splits, numRed, stats, tracker)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +230,7 @@ func (e *Engine) RunContext(ctx context.Context, job *physical.Job) (*JobStats, 
 		mapTimes = append(mapTimes, e.cfg.Cost.TaskTime(mr.work))
 	}
 	if seg.shuffle != nil {
-		redTimes, err = e.runReducePhase(ctx, job, seg, mapResults, numRed, stats)
+		redTimes, err = e.runReducePhase(ctx, job, seg, mapResults, numRed, stats, tracker)
 		if err != nil {
 			return nil, err
 		}
@@ -368,7 +413,7 @@ type mapResult struct {
 	records int64
 }
 
-func (e *Engine) runMapPhase(ctx context.Context, job *physical.Job, seg *segmentation, splits []split, numRed int, stats *JobStats) ([]mapResult, error) {
+func (e *Engine) runMapPhase(ctx context.Context, job *physical.Job, seg *segmentation, splits []split, numRed int, stats *JobStats, tracker *progressTracker) ([]mapResult, error) {
 	results := make([]mapResult, len(splits))
 	errs := make([]error, len(splits))
 	var wg sync.WaitGroup
@@ -384,6 +429,9 @@ func (e *Engine) runMapPhase(ctx context.Context, job *physical.Job, seg *segmen
 			}
 			defer func() { <-e.sem }()
 			results[idx], errs[idx] = e.runMapTask(job, seg, splits[idx], idx, numRed)
+			if errs[idx] == nil {
+				tracker.tick(e.cfg.Cost.TaskTime(results[idx].work))
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -488,7 +536,7 @@ func (e *Engine) runMapTask(job *physical.Job, seg *segmentation, sp split, task
 	return mr, nil
 }
 
-func (e *Engine) runReducePhase(ctx context.Context, job *physical.Job, seg *segmentation, mapResults []mapResult, numRed int, stats *JobStats) ([]time.Duration, error) {
+func (e *Engine) runReducePhase(ctx context.Context, job *physical.Job, seg *segmentation, mapResults []mapResult, numRed int, stats *JobStats, tracker *progressTracker) ([]time.Duration, error) {
 	times := make([]time.Duration, numRed)
 	errs := make([]error, numRed)
 	outs := make([]map[string]OutputStat, numRed)
@@ -511,6 +559,9 @@ func (e *Engine) runReducePhase(ctx context.Context, job *physical.Job, seg *seg
 			}
 			outs[r] = map[string]OutputStat{}
 			times[r], shuffleIn[r], errs[r] = e.runReduceTask(seg, recs, r, outs[r])
+			if errs[r] == nil {
+				tracker.tick(times[r])
+			}
 		}(r)
 	}
 	wg.Wait()

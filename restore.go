@@ -87,15 +87,48 @@
 // write lock that waits for all in-flight queries to drain; prefer
 // per-query ExecOptions for tuning, and reserve SetOptions for changing
 // the defaults of a quiet System.
+//
+// # Storage management
+//
+// The repository of stored outputs is an actively managed shared
+// resource:
+//
+//   - Claims. Before materializing a sub-job output, a query claims its
+//     plan fingerprint; a concurrent query about to materialize the
+//     same sub-job blocks until the winner commits, then rewrites
+//     against the freshly committed entry instead of duplicating the
+//     work. Claims are on whenever a query stores anything;
+//     Options.DisableClaims restores independent materialization, and
+//     Options.ClaimFallback picks the loser's behaviour when a winner
+//     aborts.
+//
+//   - Budget. Config.MaxRepositoryBytes bounds the bytes the repository
+//     retains; when exceeded, the Config.Eviction policy (reuse-window,
+//     LRU, or the default cost-benefit) picks victims. Entries read by
+//     in-flight rewrites are pinned and never evicted.
+//
+//   - Janitor. With Config.JanitorInterval > 0, a background goroutine
+//     owned by the System periodically vacuums invalid entries, dead
+//     queries' orphaned namespaces (restore/<qid>/…, tmp/<qid>/… — the
+//     two are reserved, managed prefixes), and over-budget entries.
+//     Sweep runs one pass synchronously. Close stops the janitor; a
+//     closed System rejects new submissions but lets in-flight queries
+//     finish.
+//
+// System.Queries lists the in-flight query handles, and Cancel aborts
+// them by ID or tag; StorageStats reports repository usage, claim
+// traffic, evictions and janitor activity.
 package restore
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -129,6 +162,37 @@ type Heuristic = core.Heuristic
 // JobState is the lifecycle of one MapReduce job within a submitted
 // query, reported by Query.Status.
 type JobState = core.JobState
+
+// Storage-management types; see internal/core's StorageManager.
+type (
+	// EvictionPolicy selects repository entries to evict when the store
+	// exceeds Config.MaxRepositoryBytes.
+	EvictionPolicy = core.EvictionPolicy
+	// ReuseWindowPolicy evicts entries idle beyond a window first
+	// (the paper's Rule 3 adapted to a budget).
+	ReuseWindowPolicy = core.ReuseWindowPolicy
+	// LRUPolicy evicts the least recently used entries first.
+	LRUPolicy = core.LRUPolicy
+	// CostBenefitPolicy evicts the entries with the least reuse benefit
+	// per stored byte first (the default under a budget).
+	CostBenefitPolicy = core.CostBenefitPolicy
+	// StorageStats snapshots repository usage, claim-protocol traffic,
+	// evictions and janitor activity.
+	StorageStats = core.StorageStats
+	// SweepReport reports one janitor pass.
+	SweepReport = core.SweepResult
+	// ClaimFallback selects a query's behaviour when a materialization
+	// claim it waited on is aborted.
+	ClaimFallback = core.ClaimFallback
+)
+
+// The claim fallback modes.
+const (
+	// ClaimRetry: contend for the aborted claim again (default).
+	ClaimRetry = core.ClaimRetry
+	// ClaimIndependent: materialize privately, without sharing.
+	ClaimIndependent = core.ClaimIndependent
+)
 
 // The job lifecycle states.
 const (
@@ -192,6 +256,20 @@ type Config struct {
 	// dependency waits). Zero means unlimited. Like WorkflowWorkers it
 	// bounds real resource use only; simulated times are unchanged.
 	MaxClusterJobs int
+	// MaxRepositoryBytes bounds the bytes the repository retains for
+	// reuse: when a sweep finds the stored outputs over this budget,
+	// the Eviction policy picks entries to drop until they fit. Zero
+	// means unbounded.
+	MaxRepositoryBytes int64
+	// Eviction is the policy ranking entries for budget eviction; nil
+	// defaults to CostBenefitPolicy. ReuseWindowPolicy and LRUPolicy
+	// are the alternatives.
+	Eviction EvictionPolicy
+	// JanitorInterval starts a background janitor goroutine sweeping
+	// the storage every interval: invalid entries (Rule 4), orphaned
+	// per-query namespaces of dead queries, and over-budget entries.
+	// Zero disables the goroutine; Sweep still runs a pass on demand.
+	JanitorInterval time.Duration
 	// Options configures ReStore (reuse off by default: the engine then
 	// behaves like stock Pig/Hadoop).
 	Options Options
@@ -223,9 +301,21 @@ type System struct {
 	fs     *dfs.FS
 	eng    *mapreduce.Engine
 	repo   *core.Repository
+	store  *core.StorageManager
 	driver *core.Driver
 	cfg    Config
 	nquery atomic.Int64
+
+	// qmu guards the in-flight query registry. A query is registered
+	// before its first DFS write and deregistered only after its
+	// execution fully returns, so the janitor's live-query snapshot
+	// never misses a namespace that is still being written.
+	qmu     sync.Mutex
+	queries map[string]*Query
+
+	closed      atomic.Bool
+	janitorStop chan struct{}
+	janitorDone chan struct{}
 }
 
 // New creates a System.
@@ -249,18 +339,102 @@ func New(cfg Config) *System {
 		SplitSize:   cfg.SplitSize,
 	})
 	repo := core.NewRepository()
+	store := core.NewStorageManager(repo, fs, cfg.MaxRepositoryBytes, cfg.Eviction)
 	driver := core.NewDriver(eng, repo, cfg.Options)
+	driver.Store = store
 	driver.Workers = cfg.WorkflowWorkers
 	if cfg.MaxClusterJobs > 0 {
 		driver.Admission = make(chan struct{}, cfg.MaxClusterJobs)
 	}
-	return &System{
-		fs:     fs,
-		eng:    eng,
-		repo:   repo,
-		driver: driver,
-		cfg:    cfg,
+	s := &System{
+		fs:      fs,
+		eng:     eng,
+		repo:    repo,
+		store:   store,
+		driver:  driver,
+		cfg:     cfg,
+		queries: map[string]*Query{},
 	}
+	if cfg.JanitorInterval > 0 {
+		s.janitorStop = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go s.janitor(cfg.JanitorInterval)
+	}
+	return s
+}
+
+// janitor is the background storage sweeper: every interval it vacuums
+// invalid entries, reclaims dead queries' namespaces and enforces the
+// byte budget, until Close.
+func (s *System) janitor(every time.Duration) {
+	defer close(s.janitorDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			s.Sweep()
+		}
+	}
+}
+
+// Sweep runs one storage-maintenance pass synchronously — exactly what
+// the background janitor runs per tick: the validity and reuse-window
+// vacuum, budget eviction, and reclamation of per-query namespaces
+// whose query is no longer in flight and whose data no repository entry
+// references.
+func (s *System) Sweep() SweepReport {
+	// The early live-query snapshot must precede the manager's
+	// entry-root snapshot: a query completing in between is protected
+	// by whichever of the two saw it. The registry is additionally
+	// re-consulted at delete time, protecting queries submitted after
+	// the snapshot whose namespaces are being written mid-sweep.
+	early := map[string]bool{}
+	s.qmu.Lock()
+	for id := range s.queries {
+		early[id] = true
+	}
+	s.qmu.Unlock()
+	live := func(qid string) bool {
+		if early[qid] {
+			return true
+		}
+		s.qmu.Lock()
+		_, ok := s.queries[qid]
+		s.qmu.Unlock()
+		return ok
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res := s.store.Sweep(s.driver.Now(), s.driver.Opts.EvictionWindow)
+	res.OrphanDatasets, res.OrphanBytes = s.store.VacuumOrphans(live)
+	return res
+}
+
+// Close stops the background janitor and marks the System closed: new
+// submissions fail with ErrClosed, while queries already in flight run
+// to completion (Wait on their handles to drain them). Close is
+// idempotent and safe to call concurrently.
+func (s *System) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if s.janitorStop != nil {
+		close(s.janitorStop)
+		<-s.janitorDone
+	}
+	return nil
+}
+
+// StorageStats snapshots the storage manager: repository usage against
+// the configured budget, claim-protocol traffic, evictions, and
+// janitor activity.
+func (s *System) StorageStats() StorageStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store.Stats()
 }
 
 // FS exposes the distributed file system.
@@ -354,7 +528,8 @@ func (s *System) SaveRepository(path string) error {
 }
 
 // LoadRepository replaces the current repository with one previously
-// saved at path. It waits for in-flight executions to drain.
+// saved at path, rebuilding the storage manager over it. It waits for
+// in-flight executions to drain.
 func (s *System) LoadRepository(path string) error {
 	repo, err := core.LoadRepository(s.fs, path)
 	if err != nil {
@@ -363,7 +538,9 @@ func (s *System) LoadRepository(path string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.repo = repo
+	s.store = core.NewStorageManager(repo, s.fs, s.cfg.MaxRepositoryBytes, s.cfg.Eviction)
 	s.driver.Repo = repo
+	s.driver.Store = s.store
 	return nil
 }
 
@@ -458,6 +635,25 @@ func withJobObserver(fn func(jobID string, state JobState)) ExecOption {
 // executing.
 var ErrInFlight = errors.New("restore: query still executing")
 
+// ErrClosed is returned by Submit and Execute after System.Close.
+var ErrClosed = errors.New("restore: system closed")
+
+// JobProgress is the task-level progress of one MapReduce job within a
+// submitted query.
+type JobProgress struct {
+	// State is the job's lifecycle state (same value as Status.Jobs).
+	State JobState
+	// TasksDone and TasksTotal count the job's completed map and reduce
+	// tasks; both are zero until the job's input is split.
+	TasksDone  int
+	TasksTotal int
+	// SimTime is the simulated execution time accumulated by the job's
+	// completed tasks while it runs, and its final Equation 1 time once
+	// done. Zero for reused jobs: their work was answered from the
+	// repository.
+	SimTime time.Duration
+}
+
 // QueryStatus is a point-in-time snapshot of a submitted query.
 type QueryStatus struct {
 	// ID is the unique query ID ("q1", "q2", ...).
@@ -473,6 +669,14 @@ type QueryStatus struct {
 	// lifecycle state. Jobs a cancelled query never dispatched stay
 	// JobPending.
 	Jobs map[string]JobState
+	// Progress maps each job ID to its task-level progress, so long
+	// workflows stay observable while they run — including while the
+	// claim protocol has a job waiting on another query's
+	// materialization (the job shows running with no tasks done yet).
+	Progress map[string]JobProgress
+	// SimTimeSoFar sums the simulated execution time of the query's
+	// completed and in-flight tasks across all jobs.
+	SimTimeSoFar time.Duration
 }
 
 // Query is a handle on one submitted script: an asynchronous execution
@@ -484,12 +688,14 @@ type Query struct {
 	tag string
 	sys *System
 
-	done chan struct{}
+	done   chan struct{}
+	cancel context.CancelFunc
 
-	mu   sync.Mutex
-	jobs map[string]JobState
-	res  *Result
-	err  error
+	mu       sync.Mutex
+	jobs     map[string]JobState
+	progress map[string]JobProgress
+	res      *Result
+	err      error
 }
 
 // ID returns the unique query ID.
@@ -497,6 +703,12 @@ func (q *Query) ID() string { return q.id }
 
 // Tag returns the WithTag label, if any.
 func (q *Query) Tag() string { return q.tag }
+
+// Cancel aborts the query as if its submission context had been
+// cancelled: unstarted jobs stay pending, running jobs release their
+// engine slots, staged outputs are discarded, and Wait returns
+// context.Canceled. Cancelling a finished query is a no-op.
+func (q *Query) Cancel() { q.cancel() }
 
 // Done returns a channel closed when the query finishes, for use in
 // select loops alongside other events.
@@ -523,7 +735,8 @@ func (q *Query) Result() (*Result, error) {
 	}
 }
 
-// Status snapshots the query's per-job lifecycle states.
+// Status snapshots the query's per-job lifecycle states and task-level
+// progress.
 func (q *Query) Status() QueryStatus {
 	st := QueryStatus{ID: q.id, Tag: q.tag}
 	select {
@@ -537,8 +750,13 @@ func (q *Query) Status() QueryStatus {
 		st.Err = q.err
 	}
 	st.Jobs = make(map[string]JobState, len(q.jobs))
+	st.Progress = make(map[string]JobProgress, len(q.jobs))
 	for id, s := range q.jobs {
 		st.Jobs[id] = s
+		p := q.progress[id]
+		p.State = s
+		st.Progress[id] = p
+		st.SimTimeSoFar += p.SimTime
 	}
 	return st
 }
@@ -557,6 +775,9 @@ func (s *System) Submit(ctx context.Context, script string, opts ...ExecOption) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
 	qid := fmt.Sprintf("q%d", s.nquery.Add(1))
 	wf, err := s.compile(script, "tmp/"+qid)
 	if err != nil {
@@ -573,12 +794,17 @@ func (s *System) Submit(ctx context.Context, script string, opts ...ExecOption) 
 		o(&ec)
 	}
 
+	// The execution runs under a cancellable child of the caller's
+	// context, so the handle (and the System's Cancel) can abort it.
+	qctx, cancel := context.WithCancel(ctx)
 	q := &Query{
-		id:   qid,
-		tag:  ec.tag,
-		sys:  s,
-		done: make(chan struct{}),
-		jobs: make(map[string]JobState, len(wf.Jobs)),
+		id:       qid,
+		tag:      ec.tag,
+		sys:      s,
+		done:     make(chan struct{}),
+		cancel:   cancel,
+		jobs:     make(map[string]JobState, len(wf.Jobs)),
+		progress: make(map[string]JobProgress, len(wf.Jobs)),
 	}
 	for _, j := range wf.Jobs {
 		q.jobs[j.ID] = JobPending
@@ -595,15 +821,33 @@ func (s *System) Submit(ctx context.Context, script string, opts ...ExecOption) 
 				ec.observer(jobID, state)
 			}
 		},
+		OnJobProgress: func(jobID string, done, total int, sim time.Duration) {
+			q.mu.Lock()
+			p := q.progress[jobID]
+			p.TasksDone, p.TasksTotal, p.SimTime = done, total, sim
+			q.progress[jobID] = p
+			q.mu.Unlock()
+		},
 	}
+
+	// Register the handle before the first DFS write so the janitor's
+	// live-query snapshot always covers the namespace being written;
+	// deregistration happens only after the execution fully returns.
+	s.qmu.Lock()
+	s.queries[qid] = q
+	s.qmu.Unlock()
 
 	go func() {
 		// Hold the read side for the execution's duration, as Execute
 		// always did: reconfiguration (SetOptions, SetScales,
 		// LoadRepository) drains in-flight queries.
 		s.mu.RLock()
-		defer s.mu.RUnlock()
-		res, err := s.driver.ExecuteContext(ctx, wf, qid, cfg)
+		res, err := s.driver.ExecuteContext(qctx, wf, qid, cfg)
+		s.mu.RUnlock()
+		s.qmu.Lock()
+		delete(s.queries, qid)
+		s.qmu.Unlock()
+		cancel() // release the context's resources
 		q.mu.Lock()
 		if err != nil {
 			q.err = err
@@ -614,6 +858,39 @@ func (s *System) Submit(ctx context.Context, script string, opts ...ExecOption) 
 		close(q.done)
 	}()
 	return q, nil
+}
+
+// Queries returns the in-flight query handles, sorted by ID. A handle
+// leaves the registry only when its execution has fully finished, so a
+// returned handle may report Done by the time it is inspected.
+func (s *System) Queries() []*Query {
+	s.qmu.Lock()
+	out := make([]*Query, 0, len(s.queries))
+	for _, q := range s.queries {
+		out = append(out, q)
+	}
+	s.qmu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].id, out[j].id
+		if len(a) != len(b) {
+			return len(a) < len(b) // q2 before q10
+		}
+		return a < b
+	})
+	return out
+}
+
+// Cancel aborts every in-flight query whose ID or tag equals idOrTag
+// and returns how many were cancelled.
+func (s *System) Cancel(idOrTag string) int {
+	n := 0
+	for _, q := range s.Queries() {
+		if q.id == idOrTag || (q.tag != "" && q.tag == idOrTag) {
+			q.Cancel()
+			n++
+		}
+	}
+	return n
 }
 
 // Execute parses, compiles, and runs a Pig Latin script through the

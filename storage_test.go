@@ -1,0 +1,465 @@
+package restore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+// oneJobScript compiles to a single MapReduce job with a parameterized
+// output path; its group/aggregate prefix is the shared sub-job the
+// claim protocol must materialize exactly once across queries.
+const oneJobScript = `
+A = load 'events' as (user, amount);
+B = group A by user;
+C = foreach B generate group, SUM(A.amount);
+store C into '%s';
+`
+
+// claimOpts stores and reuses aggressively: the configuration under
+// which concurrent same-signature queries contend for materialization.
+var claimOpts = Options{Reuse: true, Heuristic: Aggressive}
+
+// TestConcurrentSameSignatureSubmissions is the acceptance check for
+// the claim protocol, run with -race: N concurrent submissions of one
+// script must materialize each shared sub-job exactly once — asserted
+// via the repository size and the DFS's restore/ dataset count against
+// a serial baseline — and produce byte-identical outputs with the same
+// multiset of SimTimes as the serial runs.
+func TestConcurrentSameSignatureSubmissions(t *testing.T) {
+	const clients = 4
+
+	runAll := func(concurrent bool) (sims []time.Duration, rows [][]Tuple, datasets int, entries int) {
+		sys := newTestSystem(claimOpts)
+		seedEvents(t, sys)
+		results := make([]*Result, clients)
+		if concurrent {
+			queries := make([]*Query, clients)
+			for i := 0; i < clients; i++ {
+				q, err := sys.Submit(context.Background(), fmt.Sprintf(oneJobScript, fmt.Sprintf("out/c%d", i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				queries[i] = q
+			}
+			for i, q := range queries {
+				res, err := q.Wait()
+				if err != nil {
+					t.Fatal(err)
+				}
+				results[i] = res
+			}
+		} else {
+			for i := 0; i < clients; i++ {
+				res, err := sys.Execute(fmt.Sprintf(oneJobScript, fmt.Sprintf("out/c%d", i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				results[i] = res
+			}
+		}
+		for i, res := range results {
+			sims = append(sims, res.SimTime)
+			out, err := res.Output(fmt.Sprintf("out/c%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows = append(rows, sorted(out))
+		}
+		return sims, rows, len(sys.FS().Datasets("restore")), sys.Repository().Len()
+	}
+
+	serialSims, serialRows, serialDatasets, serialEntries := runAll(false)
+	concSims, concRows, concDatasets, concEntries := runAll(true)
+
+	// Exactly-once materialization: the concurrent run wrote the same
+	// number of sub-job datasets as the serial one, where later runs
+	// skip everything the first materialized; and the repository holds
+	// the same number of entries.
+	if concDatasets != serialDatasets {
+		t.Errorf("concurrent run materialized %d restore/ datasets, serial baseline %d", concDatasets, serialDatasets)
+	}
+	if concEntries != serialEntries {
+		t.Errorf("concurrent repository has %d entries, serial baseline %d", concEntries, serialEntries)
+	}
+
+	// Outputs byte-identical to the serial runs.
+	for i := range concRows {
+		if len(concRows[i]) != len(serialRows[i]) {
+			t.Fatalf("client %d: %d rows, serial %d", i, len(concRows[i]), len(serialRows[i]))
+		}
+		for j := range concRows[i] {
+			if !tuple.Equal(concRows[i][j], serialRows[i][j]) {
+				t.Errorf("client %d row %d = %v, serial %v", i, j, concRows[i][j], serialRows[i][j])
+			}
+		}
+	}
+
+	// The multiset of SimTimes matches the serial baseline: one winner
+	// pays the full generating run, every loser reuses the winner's
+	// freshly committed entries exactly as a serial rerun would.
+	sortDurations(serialSims)
+	sortDurations(concSims)
+	for i := range serialSims {
+		if concSims[i] != serialSims[i] {
+			t.Fatalf("SimTime multiset mismatch:\nconcurrent %v\nserial     %v", concSims, serialSims)
+		}
+	}
+}
+
+func sortDurations(ds []time.Duration) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+// TestDisableClaimsMaterializesIndependently proves the opt-out: with
+// DisableClaims, two concurrent same-script queries may each
+// materialize their own sub-job copies (the pre-claim behaviour), and
+// nothing blocks.
+func TestDisableClaimsMaterializesIndependently(t *testing.T) {
+	opts := claimOpts
+	opts.DisableClaims = true
+	sys := newTestSystem(opts)
+	seedEvents(t, sys)
+	var queries []*Query
+	for i := 0; i < 2; i++ {
+		q, err := sys.Submit(context.Background(), fmt.Sprintf(oneJobScript, fmt.Sprintf("ind/c%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	for _, q := range queries {
+		if _, err := q.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := sys.StorageStats(); st.ClaimWaits != 0 {
+		t.Errorf("DisableClaims still waited on claims: %+v", st)
+	}
+}
+
+// TestBudgetConvergence is the acceptance check for byte-budgeted
+// eviction: a repository filled past Config.MaxRepositoryBytes must
+// converge under the budget via each of the three policies.
+func TestBudgetConvergence(t *testing.T) {
+	for _, policy := range []EvictionPolicy{
+		ReuseWindowPolicy{Window: time.Nanosecond},
+		LRUPolicy{},
+		CostBenefitPolicy{},
+	} {
+		t.Run(policy.Name(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Options = Options{Heuristic: NoHeuristic} // store a lot
+			cfg.MaxRepositoryBytes = 1                    // any stored output overflows
+			cfg.Eviction = policy
+			sys := New(cfg)
+			defer sys.Close()
+			seedEvents(t, sys)
+			for i := 0; i < 3; i++ {
+				if _, err := sys.Execute(fmt.Sprintf(oneJobScript, fmt.Sprintf("budget/c%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := sys.StorageStats()
+			if st.UsageBytes > cfg.MaxRepositoryBytes {
+				t.Errorf("usage %d over budget %d (%d entries)", st.UsageBytes, cfg.MaxRepositoryBytes, st.Entries)
+			}
+			if st.Evictions == 0 {
+				t.Errorf("no evictions recorded despite overflow")
+			}
+		})
+	}
+}
+
+// TestJanitorReclaimsCancelledQuery is the acceptance check for orphan
+// reclamation: a cancelled query's per-query namespaces must be
+// reclaimed within one sweep, while a completed query's
+// entry-referenced data survives.
+func TestJanitorReclaimsCancelledQuery(t *testing.T) {
+	sys := newTestSystem(Options{}) // store nothing: all temps are orphans
+	seedEvents(t, sys)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	q, err := sys.Submit(ctx, fmt.Sprintf(twoJobScript, "jan/out"),
+		withJobObserver(func(jobID string, st JobState) {
+			if st == JobDone {
+				cancel() // first job done: abort the second
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait err = %v, want context.Canceled", err)
+	}
+	ns := "tmp/" + q.ID()
+	if sys.FS().Size(ns) == 0 {
+		t.Fatalf("cancelled query left nothing under %s; test premise broken", ns)
+	}
+
+	rep := sys.Sweep()
+	if rep.OrphanDatasets == 0 {
+		t.Errorf("sweep reclaimed no orphan datasets: %+v", rep)
+	}
+	if sys.FS().Exists(ns) {
+		t.Errorf("cancelled query's namespace %s survived the sweep", ns)
+	}
+}
+
+// TestJanitorGoroutine proves the background janitor sweeps on its own:
+// with a short interval configured, a cancelled query's namespace
+// disappears without any explicit Sweep call, and Close stops the
+// goroutine.
+func TestJanitorGoroutine(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JanitorInterval = 5 * time.Millisecond
+	sys := New(cfg)
+	defer sys.Close()
+	seedEvents(t, sys)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	q, err := sys.Submit(ctx, fmt.Sprintf(twoJobScript, "jang/out"),
+		withJobObserver(func(jobID string, st JobState) {
+			if st == JobDone {
+				cancel()
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait err = %v", err)
+	}
+
+	ns := "tmp/" + q.ID()
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.FS().Exists(ns) {
+		if time.Now().After(deadline) {
+			t.Fatalf("janitor did not reclaim %s within 5s", ns)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestJanitorSparesReferencedData: the janitor must not reclaim sub-job
+// outputs and temps that repository entries reference, or reuse would
+// silently break.
+func TestJanitorSparesReferencedData(t *testing.T) {
+	sys := newTestSystem(claimOpts)
+	seedEvents(t, sys)
+	r1, err := sys.Execute(fmt.Sprintf(oneJobScript, "spare/out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Stored) == 0 {
+		t.Fatal("first run stored nothing; premise broken")
+	}
+	sys.Sweep()
+	r2, err := sys.Execute(fmt.Sprintf(oneJobScript, "spare/out2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Rewrites) == 0 {
+		t.Errorf("post-sweep run reused nothing: the janitor reclaimed referenced data")
+	}
+}
+
+// TestQueriesRegistryAndCancel covers the multi-tenant serving story:
+// in-flight handles are listable, cancellable by ID or tag, and leave
+// the registry once finished.
+func TestQueriesRegistryAndCancel(t *testing.T) {
+	sys := newTestSystem(Options{})
+	seedEvents(t, sys)
+
+	gates := map[string]chan struct{}{"a": make(chan struct{}), "b": make(chan struct{})}
+	var once sync.Map
+	submit := func(tag, out string) *Query {
+		q, err := sys.Submit(context.Background(), fmt.Sprintf(twoJobScript, out),
+			WithTag(tag),
+			withJobObserver(func(jobID string, st JobState) {
+				if st == JobRunning {
+					if _, dup := once.LoadOrStore(tag, true); !dup {
+						<-gates[tag] // hold the query's first job
+					}
+				}
+			}),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	qa := submit("a", "reg/a")
+	qb := submit("b", "reg/b")
+
+	list := sys.Queries()
+	if len(list) != 2 || list[0].ID() != qa.ID() || list[1].ID() != qb.ID() {
+		ids := make([]string, len(list))
+		for i, q := range list {
+			ids[i] = q.ID()
+		}
+		t.Fatalf("Queries() = %v, want [%s %s]", ids, qa.ID(), qb.ID())
+	}
+
+	// Cancel by tag while gated.
+	if n := sys.Cancel("b"); n != 1 {
+		t.Errorf("Cancel(tag b) = %d, want 1", n)
+	}
+	close(gates["b"])
+	if _, err := qb.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled-by-tag query err = %v", err)
+	}
+
+	// Cancel by ID.
+	if n := sys.Cancel(qa.ID()); n != 1 {
+		t.Errorf("Cancel(%s) = %d, want 1", qa.ID(), n)
+	}
+	close(gates["a"])
+	if _, err := qa.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled-by-ID query err = %v", err)
+	}
+
+	// Both finished: the registry drains.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(sys.Queries()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("registry still holds %d queries", len(sys.Queries()))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := sys.Cancel("a"); n != 0 {
+		t.Errorf("Cancel on a drained registry = %d, want 0", n)
+	}
+}
+
+// TestCloseLifecycle: Close rejects new submissions, lets in-flight
+// queries finish, and is idempotent.
+func TestCloseLifecycle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JanitorInterval = time.Minute // goroutine started, then stopped by Close
+	sys := New(cfg)
+	seedEvents(t, sys)
+
+	gate := make(chan struct{})
+	var once sync.Once
+	q, err := sys.Submit(context.Background(), fmt.Sprintf(twoJobScript, "close/out"),
+		withJobObserver(func(jobID string, st JobState) {
+			if st == JobRunning {
+				once.Do(func() { <-gate })
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := sys.Submit(context.Background(), totalsScript); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close err = %v, want ErrClosed", err)
+	}
+	if _, err := sys.Execute(totalsScript); !errors.Is(err, ErrClosed) {
+		t.Errorf("Execute after Close err = %v, want ErrClosed", err)
+	}
+
+	// The in-flight query still runs to completion.
+	close(gate)
+	res, err := q.Wait()
+	if err != nil {
+		t.Fatalf("in-flight query after Close: %v", err)
+	}
+	if res.JobsRun != 2 {
+		t.Errorf("JobsRun = %d, want 2", res.JobsRun)
+	}
+}
+
+// TestStatusReportsProgress covers the per-job progress satellite: a
+// finished job reports all tasks done and its Equation 1 SimTime; the
+// query-level SimTimeSoFar accumulates across jobs.
+func TestStatusReportsProgress(t *testing.T) {
+	sys := newTestSystem(Options{})
+	seedEvents(t, sys)
+
+	// Pause the workflow after its first job completes so the main
+	// goroutine can snapshot a genuinely mid-flight Status.
+	firstDone := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	q, err := sys.Submit(context.Background(), fmt.Sprintf(twoJobScript, "prog/out"),
+		withJobObserver(func(jobID string, st JobState) {
+			if st == JobDone {
+				once.Do(func() {
+					close(firstDone)
+					<-release
+				})
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-firstDone
+	midFlight := q.Status()
+	close(release)
+	res, err := q.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := q.Status()
+	if len(st.Progress) != 2 {
+		t.Fatalf("Progress has %d jobs, want 2", len(st.Progress))
+	}
+	var total time.Duration
+	for id, p := range st.Progress {
+		if p.State != JobDone {
+			t.Errorf("job %s state %v, want done", id, p.State)
+		}
+		if p.TasksTotal == 0 || p.TasksDone != p.TasksTotal {
+			t.Errorf("job %s tasks %d/%d, want all done", id, p.TasksDone, p.TasksTotal)
+		}
+		if p.SimTime <= 0 {
+			t.Errorf("job %s SimTime = %v, want > 0", id, p.SimTime)
+		}
+		total += p.SimTime
+	}
+	if st.SimTimeSoFar != total {
+		t.Errorf("SimTimeSoFar = %v, want %v", st.SimTimeSoFar, total)
+	}
+	// Per-job final SimTimes are the Equation 1 inputs; the workflow
+	// time is their critical path, here a two-job chain.
+	if total != res.SimTime {
+		t.Errorf("sum of job SimTimes %v != workflow SimTime %v for a serial chain", total, res.SimTime)
+	}
+	// The mid-flight snapshot (taken when the first job finished) saw
+	// that job's progress without waiting for the workflow.
+	doneJobs := 0
+	for _, p := range midFlight.Progress {
+		if p.TasksTotal > 0 && p.TasksDone == p.TasksTotal {
+			doneJobs++
+		}
+	}
+	if doneJobs == 0 {
+		t.Errorf("mid-flight status showed no completed job progress: %+v", midFlight.Progress)
+	}
+}
