@@ -17,7 +17,11 @@
 // each run with a context deadline, aborting its remaining jobs.
 // -max-repo-mb caps the bytes the repository retains (the -evict
 // policy picks victims), and -janitor starts the background storage
-// sweeper at the given interval.
+// sweeper at the given interval. -ns-root confines ReStore's managed
+// namespaces to a directory of their own so user datasets under tmp/
+// or restore/ are never reclaimed; -linear-match falls back to the
+// paper's sequential repository scan (the matcher's per-run statistics
+// print either way).
 package main
 
 import (
@@ -53,6 +57,8 @@ func main() {
 		evictFlag   = flag.String("evict", "cost-benefit", "eviction policy under the budget: reuse-window, lru, cost-benefit")
 		windowFlag  = flag.Duration("evict-window", time.Hour, "idle window of the reuse-window policy (simulated time)")
 		janitorFlag = flag.Duration("janitor", 0, "background storage-janitor sweep interval (0 = off)")
+		nsRootFlag  = flag.String("ns-root", "", "root of ReStore's managed namespaces (default: top-level tmp/ and restore/)")
+		linearFlag  = flag.Bool("linear-match", false, "match by sequential repository scan instead of the signature index")
 	)
 	flag.Parse()
 
@@ -102,6 +108,7 @@ func main() {
 		fail(fmt.Errorf("unknown eviction policy %q (want reuse-window, lru or cost-benefit)", *evictFlag))
 	}
 	cfg.JanitorInterval = *janitorFlag
+	cfg.NamespaceRoot = *nsRootFlag
 	sys := restore.New(cfg)
 	defer sys.Close()
 	fmt.Printf("generating PigMix %s instance…\n", scale.Name)
@@ -118,6 +125,7 @@ func main() {
 			Reuse:         *reuseFlag,
 			Heuristic:     heur,
 			KeepWholeJobs: *wholeFlag,
+			LinearMatch:   *linearFlag,
 		}),
 		restore.WithWorkers(*workerFlag),
 	}
@@ -173,6 +181,13 @@ func main() {
 	if st.ClaimWaits > 0 || st.ClaimsShared > 0 {
 		fmt.Printf("claims: %d granted, %d waits, %d shared in flight\n",
 			st.ClaimsGranted, st.ClaimWaits, st.ClaimsShared)
+	}
+	ms := sys.MatcherStats()
+	if ms.Probes > 0 || ms.Scans > 0 {
+		fmt.Printf("matcher: %d probes (%d candidates), %d scans (%d visited), %d traversals, %d matches, %d memo hits; index %d entries / %d signatures\n",
+			ms.Probes, ms.Candidates, ms.Scans, ms.ScanVisited,
+			ms.FullTraversals, ms.Matches, ms.NegativeHits,
+			ms.IndexEntries, ms.IndexSignatures)
 	}
 }
 

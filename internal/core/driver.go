@@ -128,6 +128,12 @@ type Options struct {
 	// ClaimFallback selects the behaviour when a claim this execution
 	// waited on is aborted (default: contend for it again).
 	ClaimFallback ClaimFallback
+	// LinearMatch makes this execution's matcher visit the repository
+	// by the paper's sequential scan instead of the signature index.
+	// Both modes choose identical entries (differential-tested); the
+	// flag exists for that suite, the matcher-scaling experiment, and
+	// as an escape hatch. Default off: matching is indexed.
+	LinearMatch bool
 }
 
 // storesAnything reports whether this configuration writes repository
@@ -195,6 +201,15 @@ type Driver struct {
 	// changes).
 	Workers int
 
+	// NamespaceRoot, when non-empty, prefixes the per-query DFS
+	// namespaces this driver writes: sub-job outputs go under
+	// "<root>/restore/<qid>" and staged user outputs under
+	// "<root>/tmp/<qid>" instead of the legacy top-level "restore/" and
+	// "tmp/". Configure the StorageManager with the same root so the
+	// janitor sweeps (only) these namespaces. Like the other fields it
+	// must not be reassigned while Execute calls are in flight.
+	NamespaceRoot string
+
 	// Admission, when non-nil, is the cross-query job-admission
 	// semaphore: every job of every concurrent execution holds one slot
 	// while it runs, capping total cluster jobs under high fan-in. Set
@@ -213,6 +228,12 @@ type Driver struct {
 // storage manager carrying no byte budget.
 func NewDriver(eng *mapreduce.Engine, repo *Repository, opts Options) *Driver {
 	return &Driver{Engine: eng, Repo: repo, Opts: opts, Store: NewStorageManager(repo, eng.FS(), 0, nil)}
+}
+
+// namespace returns the per-query path prefix for kind ("restore" or
+// "tmp") under the configured namespace root.
+func (d *Driver) namespace(kind, queryID string) string {
+	return NamespacePath(d.NamespaceRoot, kind, queryID)
 }
 
 // Now returns the driver's simulated clock: the total simulated time of
@@ -293,11 +314,11 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 		res.FinalOutputs[p] = v
 	}
 
-	rewriter := &Rewriter{Repo: repo, FS: eng.FS()}
+	rewriter := &Rewriter{Repo: repo, FS: eng.FS(), LinearScan: opts.LinearMatch}
 	enum := &Enumerator{
 		Heuristic: opts.Heuristic,
 		PathFor: func(job *physical.Job, opID int) string {
-			return fmt.Sprintf("restore/%s/%s/op%d", queryID, job.ID, opID)
+			return fmt.Sprintf("%s/%s/op%d", d.namespace("restore", queryID), job.ID, opID)
 		},
 		SkipExisting: func(prefix PlanSig) bool {
 			e := repo.Lookup(prefix)
@@ -324,7 +345,7 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 		if _, ok := wf.FinalOutputs[user]; !ok {
 			continue
 		}
-		stage := "tmp/" + queryID + "/.staged/" + user
+		stage := d.namespace("tmp", queryID) + "/.staged/" + user
 		for _, op := range job.Plan.Ops() {
 			if op.Kind == physical.KStore && op.Path == user {
 				op.Path = stage

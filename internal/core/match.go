@@ -10,6 +10,11 @@ import (
 // MapReduce job plan in, and returns the mapping from repo op IDs to
 // input op IDs.
 //
+// Match is the expensive, exact test; the repository's signature index
+// (index.go) prefilters by its necessary conditions so the rewriter
+// runs the traversal only on entries whose footprint is a subset of
+// the job's signatures.
+//
 // Containment follows the paper's operator equivalence: two operators
 // are equivalent when (1) their inputs are pipelined from equivalent
 // operators or from the same data sets, and (2) they perform functions

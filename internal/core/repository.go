@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dfs"
@@ -68,12 +69,61 @@ type Entry struct {
 	StoredAt    time.Duration
 	LastReused  time.Duration
 	TimesReused int
+
+	// size memoizes the stored output's byte total, stamped with the
+	// output dataset's version, so budget sweeps stop re-sizing every
+	// entry on every pass. Installed by Insert/LoadRepository (gob
+	// skips unexported fields); entries outside a repository carry nil
+	// and fall back to uncached sizing.
+	size *outputSize
+}
+
+// outputSize is the version-stamped size cache of one entry's stored
+// output. Concurrent sweeps share entries, so the pair is swapped
+// atomically as one value.
+type outputSize struct {
+	v atomic.Pointer[sizedVersion]
+}
+
+type sizedVersion struct {
+	version int64
+	bytes   int64
+}
+
+// storedBytes returns the byte total of the entry's stored output,
+// memoized until the output dataset's version changes — any write,
+// delete or rename touching the dataset bumps its version and so
+// invalidates the cache. Only leaf outputs (the path is itself one
+// dataset or file, the way the engine materializes them) are cached;
+// the rare prefix-of-several-datasets path is re-sized every call,
+// since its nested datasets version independently.
+func (e *Entry) storedBytes(fs *dfs.FS) int64 {
+	c := e.size
+	if c != nil {
+		if s := c.v.Load(); s != nil && s.version == fs.Version(e.OutputPath) {
+			return s.bytes
+		}
+	}
+	n, ver, leaf := fs.Stat(e.OutputPath)
+	if c != nil && leaf {
+		c.v.Store(&sizedVersion{version: ver, bytes: n})
+	}
+	return n
 }
 
 // Repository manages the stored job outputs. Plans are kept ordered so
 // that a sequential scan finds the best match first: Rule 1 places
 // subsuming plans ahead of the plans they subsume; Rule 2 orders
 // incomparable plans by input/output ratio and then job execution time.
+//
+// Alongside the ordered entries the repository maintains a signature
+// index (planIndex): entries are posted under their frontier signature
+// with a footprint summary, so Probe can hand the matcher only the
+// candidates whose containment test could possibly succeed, in the same
+// preference order the scan would visit them. Every mutation — Insert
+// (including fingerprint-replacement re-sorts), Remove, EvictUnpinned,
+// Vacuum, LoadRepository — keeps the index coherent under the
+// repository lock.
 //
 // All methods are safe for concurrent use: ReStore sits between many
 // clients and the cluster, and concurrent Execute calls insert, match
@@ -89,6 +139,7 @@ type Repository struct {
 	entries []*Entry
 	nextID  int
 	byFP    map[string]*Entry
+	index   *planIndex
 
 	// pinMu guards pins. Lock order: mu before pinMu (Pin is called
 	// from Scan callbacks holding mu's read side; Vacuum checks pins
@@ -99,11 +150,22 @@ type Repository struct {
 	// client's eviction pass cannot delete an output between this
 	// client's rewrite and its engine run.
 	pins map[string]int
+
+	// Matcher counters (MatcherStats), all monotonic. The traversal
+	// counters are fed by Rewriters, which own the per-submission
+	// negative memo but report here so stats span submissions.
+	probes          atomic.Int64
+	probeCandidates atomic.Int64
+	scans           atomic.Int64
+	scanVisited     atomic.Int64
+	traversals      atomic.Int64
+	matches         atomic.Int64
+	negHits         atomic.Int64
 }
 
 // NewRepository returns an empty repository.
 func NewRepository() *Repository {
-	return &Repository{byFP: map[string]*Entry{}, pins: map[string]int{}}
+	return &Repository{byFP: map[string]*Entry{}, pins: map[string]int{}, index: newPlanIndex()}
 }
 
 // Len returns the number of entries.
@@ -124,8 +186,8 @@ func (r *Repository) Entries() []*Entry {
 
 // Scan calls fn for each entry in scan order under the read lock,
 // stopping early when fn returns false. It avoids the per-call copy of
-// Entries for hot paths like the rewriter's sequential scan; fn must not
-// call back into the repository.
+// Entries for hot paths like the storage manager's accounting sweeps;
+// fn must not call back into the repository.
 func (r *Repository) Scan(fn func(e *Entry) bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -133,6 +195,61 @@ func (r *Repository) Scan(fn func(e *Entry) bool) {
 		if !fn(e) {
 			return
 		}
+	}
+}
+
+// Probe calls fn, in scan order and under the read lock, for each entry
+// the signature index nominates as a containment candidate for the
+// probing job plan: the entries whose signature footprint is a subset
+// of the job's. Every entry the full traversal could match is
+// nominated (the filters are necessary conditions of containment), so
+// the first fn match equals the first Scan match; fn must not call back
+// into the repository.
+func (r *Repository) Probe(job PlanSig, fn func(e *Entry) bool) {
+	sigSet, loadSet := probeSets(job)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cands := r.index.candidates(sigSet, loadSet)
+	r.probes.Add(1)
+	r.probeCandidates.Add(int64(len(cands)))
+	for _, e := range cands {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// noteScan records one linear matching scan over n entries (rewriters
+// in LinearScan mode).
+func (r *Repository) noteScan(n int64) {
+	r.scans.Add(1)
+	r.scanVisited.Add(n)
+}
+
+// noteMatchWork records the traversal work of one matching pass.
+func (r *Repository) noteMatchWork(traversals, negHits int64, matched bool) {
+	r.traversals.Add(traversals)
+	r.negHits.Add(negHits)
+	if matched {
+		r.matches.Add(1)
+	}
+}
+
+// MatcherStats snapshots the matcher counters and index gauges.
+func (r *Repository) MatcherStats() MatcherStats {
+	r.mu.RLock()
+	entries, sigs := len(r.index.meta), len(r.index.postings)
+	r.mu.RUnlock()
+	return MatcherStats{
+		Probes:          r.probes.Load(),
+		Candidates:      r.probeCandidates.Load(),
+		Scans:           r.scans.Load(),
+		ScanVisited:     r.scanVisited.Load(),
+		FullTraversals:  r.traversals.Load(),
+		Matches:         r.matches.Load(),
+		NegativeHits:    r.negHits.Load(),
+		IndexEntries:    entries,
+		IndexSignatures: sigs,
 	}
 }
 
@@ -150,9 +267,9 @@ func (r *Repository) Lookup(sig PlanSig) *Entry {
 // output location instead of duplicating it — the replacement is a fresh
 // Entry value carrying over the old identity and usage counters, so
 // readers holding the old pointer are unaffected — and returns the
-// replacement. Replacements are re-sorted: refreshed statistics can
-// change the entry's Rule 2 rank, and the sequential matcher relies on
-// scan order being the preference order.
+// replacement. Replacements are re-sorted and re-indexed: refreshed
+// statistics can change the entry's Rule 2 rank, and the matcher relies
+// on candidate order being the preference order.
 func (r *Repository) Insert(e *Entry) *Entry {
 	fp := e.Plan.Fingerprint()
 	r.mu.Lock()
@@ -164,12 +281,17 @@ func (r *Repository) Insert(e *Entry) *Entry {
 		ne.InputVersions = e.InputVersions
 		ne.OutputVersion = e.OutputVersion
 		ne.StoredAt = e.StoredAt
+		// The replacement may point at a different output; never inherit
+		// the old entry's memoized size.
+		ne.size = &outputSize{}
 		for i, x := range r.entries {
 			if x == old {
 				r.entries = append(r.entries[:i], r.entries[i+1:]...)
 				break
 			}
 		}
+		r.index.remove(old)
+		r.index.add(&ne)
 		r.insertOrdered(&ne)
 		r.byFP[fp] = &ne
 		return &ne
@@ -178,12 +300,18 @@ func (r *Repository) Insert(e *Entry) *Entry {
 	if e.ID == "" {
 		e.ID = fmt.Sprintf("e%d", r.nextID)
 	}
+	if e.size == nil {
+		e.size = &outputSize{}
+	}
+	r.index.add(e)
 	r.insertOrdered(e)
 	r.byFP[fp] = e
 	return e
 }
 
-// insertOrdered splices e into its Rules 1/2 scan position (mu held).
+// insertOrdered splices e into its Rules 1/2 scan position and
+// renumbers the index's scan positions (mu held; e must already be
+// indexed so before can prefilter with its footprint).
 func (r *Repository) insertOrdered(e *Entry) {
 	pos := len(r.entries)
 	for i, x := range r.entries {
@@ -195,13 +323,19 @@ func (r *Repository) insertOrdered(e *Entry) {
 	r.entries = append(r.entries, nil)
 	copy(r.entries[pos+1:], r.entries[pos:])
 	r.entries[pos] = e
+	r.index.renumber(r.entries)
 }
 
 // before implements the scan-order comparison: Rule 1 (subsumption)
-// then Rule 2 (input/output ratio, then execution time).
+// then Rule 2 (input/output ratio, then execution time). The footprint
+// prefilter skips the pairwise traversals entirely for the common case
+// of entries over unrelated inputs — a subsuming plan necessarily
+// carries a superset footprint — keeping large-repository inserts
+// cheap.
 func (r *Repository) before(a, b *Entry) bool {
-	aSubsumesB := Contains(a.Plan, b.Plan)
-	bSubsumesA := Contains(b.Plan, a.Plan)
+	af, bf := r.index.footprintFor(a), r.index.footprintFor(b)
+	aSubsumesB := bf.coveredBy(af) && Contains(a.Plan, b.Plan)
+	bSubsumesA := af.coveredBy(bf) && Contains(b.Plan, a.Plan)
 	if aSubsumesB != bSubsumesA {
 		return aSubsumesB
 	}
@@ -228,10 +362,14 @@ func (r *Repository) EvictUnpinned(ids []string) []*Entry {
 			if e.ID == id {
 				r.entries = append(r.entries[:i], r.entries[i+1:]...)
 				delete(r.byFP, e.Plan.Fingerprint())
+				r.index.remove(e)
 				removed = append(removed, e)
 				break
 			}
 		}
+	}
+	if len(removed) > 0 {
+		r.index.renumber(r.entries)
 	}
 	return removed
 }
@@ -244,6 +382,8 @@ func (r *Repository) Remove(id string) *Entry {
 		if e.ID == id {
 			r.entries = append(r.entries[:i], r.entries[i+1:]...)
 			delete(r.byFP, e.Plan.Fingerprint())
+			r.index.remove(e)
+			r.index.renumber(r.entries)
 			return e
 		}
 	}
@@ -296,12 +436,16 @@ func (r *Repository) Vacuum(fs *dfs.FS, now time.Duration, window time.Duration)
 		}
 		if bad {
 			delete(r.byFP, e.Plan.Fingerprint())
+			r.index.remove(e)
 			removed = append(removed, e)
 		} else {
 			kept = append(kept, e)
 		}
 	}
 	r.entries = kept
+	if len(removed) > 0 {
+		r.index.renumber(r.entries)
+	}
 	return removed
 }
 
@@ -316,8 +460,8 @@ func (r *Repository) NoteReuse(e *Entry, now time.Duration) {
 
 // Pin marks the entry as referenced by an in-flight execution: Vacuum
 // will not remove it (nor let its output be deleted) until a matching
-// Unpin. Pins nest. Safe to call from a Scan callback — the rewriter
-// pins at match time, while still under the scan's read lock, so no
+// Unpin. Pins nest. Safe to call from a Scan or Probe callback — the
+// rewriter pins at match time, while still under the read lock, so no
 // vacuum can slip between matching an entry and protecting it.
 func (r *Repository) Pin(id string) {
 	r.pinMu.Lock()
@@ -343,7 +487,8 @@ func (r *Repository) pinned(id string) bool {
 	return r.pins[id] > 0
 }
 
-// gobRepository is the serialized form.
+// gobRepository is the serialized form. The signature index is not
+// persisted: LoadRepository rebuilds it from the entries in one pass.
 type gobRepository struct {
 	Entries []*Entry
 	NextID  int
@@ -361,7 +506,8 @@ func (r *Repository) Save(fs *dfs.FS, path string) error {
 	return fs.WriteFile(path, buf.Bytes())
 }
 
-// LoadRepository restores a repository saved with Save.
+// LoadRepository restores a repository saved with Save, rebuilding the
+// signature index and installing fresh size caches.
 func LoadRepository(fs *dfs.FS, path string) (*Repository, error) {
 	data, err := fs.ReadFile(path)
 	if err != nil {
@@ -375,7 +521,10 @@ func LoadRepository(fs *dfs.FS, path string) (*Repository, error) {
 	r.nextID = g.NextID
 	r.entries = g.Entries
 	for _, e := range r.entries {
+		e.size = &outputSize{}
 		r.byFP[e.Plan.Fingerprint()] = e
+		r.index.add(e)
 	}
+	r.index.renumber(r.entries)
 	return r, nil
 }

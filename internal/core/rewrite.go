@@ -1,22 +1,79 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/dfs"
 	"repro/internal/physical"
 )
 
 // Rewriter is ReStore's plan matcher and rewriter: for each MapReduce
-// job of an input workflow it scans the repository in order and rewrites
-// the job to read stored outputs instead of recomputing them.
+// job of an input workflow it finds repository entries contained in the
+// job's plan and rewrites the job to read their stored outputs instead
+// of recomputing them.
 //
-// The repository scan itself is internally synchronized, but RewriteJob
-// mutates the job's plan in place: the caller must ensure no other
-// goroutine touches the same job (the driver's DAG scheduler does this
-// by rewriting each job under the workflow lock, after all of the job's
+// The matcher is indexed: each round probes the repository's signature
+// index for the candidate entries whose footprint could be contained in
+// the job (see planIndex), visits them in the Rules 1/2 preference
+// order, and runs the full Algorithm 1 traversal only on those — so a
+// match costs O(plan) probing plus a handful of traversals instead of a
+// traversal per repository entry. LinearScan restores the paper's
+// sequential scan; both modes choose identical entries.
+//
+// Failed containment tests are memoized for the Rewriter's lifetime —
+// one driver submission — keyed by entry version and job-plan
+// fingerprint, so the claim protocol's repeated re-rewrites of an
+// unchanged plan skip straight past entries already rejected.
+//
+// Repository probes are internally synchronized, but RewriteJob mutates
+// the job's plan in place: the caller must ensure no other goroutine
+// touches the same job (the driver's DAG scheduler does this by
+// rewriting each job under the workflow lock, after all of the job's
 // producers have completed).
 type Rewriter struct {
 	Repo *Repository
 	FS   *dfs.FS
+
+	// LinearScan matches via the pre-index sequential repository scan
+	// instead of the signature index. The probe filters only by
+	// conditions necessary for containment and preserves scan order, so
+	// the two modes are differential-tested to pick identical entries;
+	// linear mode exists for that differential suite, the
+	// matcher-scaling experiment and benchmarks, and as an escape
+	// hatch.
+	LinearScan bool
+
+	// negMu guards neg, the submission-scoped memo of failed
+	// containment tests. Entries are immutable — re-registration swaps
+	// in a fresh pointer — so the entry pointer identifies exactly one
+	// entry version, and a rewritten plan changes its fingerprint; a
+	// stale negative can therefore never suppress a live match.
+	negMu sync.Mutex
+	neg   map[negKey]bool
+}
+
+// negKey identifies one memoized rejection: this entry version's plan
+// is not contained in the job plan with this fingerprint.
+type negKey struct {
+	entry *Entry
+	jobFP string
+}
+
+// negCached reports whether the containment test is known to fail.
+func (rw *Rewriter) negCached(k negKey) bool {
+	rw.negMu.Lock()
+	defer rw.negMu.Unlock()
+	return rw.neg[k]
+}
+
+// cacheNeg memoizes a failed containment test.
+func (rw *Rewriter) cacheNeg(k negKey) {
+	rw.negMu.Lock()
+	defer rw.negMu.Unlock()
+	if rw.neg == nil {
+		rw.neg = map[negKey]bool{}
+	}
+	rw.neg[k] = true
 }
 
 // RewriteEvent records one applied rewrite for reporting.
@@ -34,12 +91,16 @@ type RewriteEvent struct {
 }
 
 // RewriteJob rewrites one job in place to reuse repository outputs. It
-// repeats the sequential scan after every successful rewrite ("a new
+// probes again after every successful rewrite (the paper's "a new
 // sequential scan through the repository is started to look for more
-// matches"), so several entries can contribute to one job. It returns
-// the rewrite events applied, with WholeJob set when an entry covered
-// the entire job (the caller then drops the job and rewires its
-// dependants).
+// matches"), so several entries can contribute to one job — a rewrite
+// changes the plan, and the fresh Load over a stored output can expose
+// matches the previous round could not see. Each round costs one index
+// probe, not a repository scan, and entries rejected against an
+// unchanged plan earlier in the submission are skipped via the negative
+// memo. It returns the rewrite events applied, with WholeJob set when
+// an entry covered the entire job (the caller then drops the job and
+// rewires its dependants).
 //
 // allowWhole permits whole-plan matches. The driver passes false for
 // jobs writing a user STORE destination: a requested output is always
@@ -48,7 +109,7 @@ type RewriteEvent struct {
 func (rw *Rewriter) RewriteJob(job *physical.Job, allowWhole bool) []RewriteEvent {
 	var events []RewriteEvent
 	for {
-		res := rw.findFirstMatch(job, allowWhole)
+		res := rw.findBestMatch(job, allowWhole)
 		if res == nil {
 			return events
 		}
@@ -73,25 +134,41 @@ func (rw *Rewriter) RewriteJob(job *physical.Job, allowWhole bool) []RewriteEven
 	}
 }
 
-// findFirstMatch scans the ordered repository for the first valid entry
-// contained in the job's plan. Because the repository is ordered by
-// Rules 1 and 2 (Section 3), the first match is the best match. The
-// matched entry is pinned before the scan's read lock is released, so
-// a concurrent Vacuum cannot delete its stored output before the
-// rewritten job runs; the driver unpins when the execution finishes.
-func (rw *Rewriter) findFirstMatch(job *physical.Job, allowWhole bool) *MatchResult {
+// findBestMatch returns the first valid entry contained in the job's
+// plan, in repository preference order. Because candidates arrive
+// ordered by Rules 1 and 2 (Section 3), the first match is the best
+// match. The matched entry is pinned before the probe's read lock is
+// released, so a concurrent Vacuum cannot delete its stored output
+// before the rewritten job runs; the driver unpins when the execution
+// finishes.
+func (rw *Rewriter) findBestMatch(job *physical.Job, allowWhole bool) *MatchResult {
 	jobSig := SigOf(job.Plan)
+	jobFP := jobSig.Fingerprint()
 	mainStoreInput := -1
 	if st := job.MainStore(); st != nil && len(st.InputIDs) > 0 {
 		mainStoreInput = st.InputIDs[0]
 	}
 	var found *MatchResult
-	rw.Repo.Scan(func(e *Entry) bool {
+	var visited, traversals, negHits int64
+	visit := func(e *Entry) bool {
+		visited++
 		if !rw.Repo.Valid(e, rw.FS) {
 			return true
 		}
+		// Validity is FS-dependent and never memoized; containment is a
+		// pure function of the entry version and the job plan, so its
+		// failures are. A whole-plan match skipped by allowWhole is not
+		// a containment failure and must not be memoized either — the
+		// same plan can recur with allowWhole true.
+		k := negKey{entry: e, jobFP: jobFP}
+		if rw.negCached(k) {
+			negHits++
+			return true
+		}
+		traversals++
 		res, ok := matchEntry(e, job.Plan, jobSig, mainStoreInput)
 		if !ok {
+			rw.cacheNeg(k)
 			return true
 		}
 		if res.WholePlan && !allowWhole {
@@ -100,7 +177,14 @@ func (rw *Rewriter) findFirstMatch(job *physical.Job, allowWhole bool) *MatchRes
 		rw.Repo.Pin(e.ID)
 		found = res
 		return false
-	})
+	}
+	if rw.LinearScan {
+		rw.Repo.Scan(visit)
+		rw.Repo.noteScan(visited)
+	} else {
+		rw.Repo.Probe(jobSig, visit)
+	}
+	rw.Repo.noteMatchWork(traversals, negHits, found != nil)
 	return found
 }
 

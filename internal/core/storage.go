@@ -42,6 +42,14 @@ type StorageManager struct {
 	maxBytes int64
 	policy   EvictionPolicy
 
+	// nsRoot is the root the managed per-query namespaces live under:
+	// "" (the legacy layout) reserves the top-level "restore/" and
+	// "tmp/" prefixes for the janitor's orphan sweep; a non-empty root
+	// confines them to "<root>/restore" and "<root>/tmp", so user
+	// datasets that happen to be named under "tmp/" or "restore/" are
+	// never reclaimed. Set once at construction, before any sweep.
+	nsRoot string
+
 	mu     sync.Mutex
 	claims map[string]*Claim
 
@@ -76,6 +84,40 @@ func NewStorageManager(repo *Repository, fs *dfs.FS, maxBytes int64, policy Evic
 
 // Repo returns the managed repository.
 func (m *StorageManager) Repo() *Repository { return m.repo }
+
+// SetNamespaceRoot confines the janitor's reserved namespaces to
+// "<root>/restore" and "<root>/tmp" (the driver writes its per-query
+// data there when configured with the same root). Call it once at
+// construction, before any sweep; the empty root keeps the legacy
+// top-level "restore/"+"tmp/" layout.
+func (m *StorageManager) SetNamespaceRoot(root string) {
+	m.nsRoot = cleanPath(root)
+}
+
+// namespaces returns the managed per-query namespace roots the orphan
+// sweep may reclaim under.
+func (m *StorageManager) namespaces() []string {
+	return []string{NamespacePath(m.nsRoot, "restore"), NamespacePath(m.nsRoot, "tmp")}
+}
+
+// NamespacePath joins a managed-namespace path under the (possibly
+// empty) namespace root, normalizing the root. It is the single
+// definition of the "<root>/restore/…"+"<root>/tmp/…" layout the
+// driver writes under and the janitor's orphan sweep reclaims —
+// every producer and consumer of managed paths must build them here,
+// or a stray slash in a configured root would silently divorce the
+// writer's layout from the sweeper's.
+func NamespacePath(root string, parts ...string) string {
+	p := cleanPath(root)
+	for _, part := range parts {
+		if p == "" {
+			p = part
+		} else {
+			p += "/" + part
+		}
+	}
+	return p
+}
 
 // MaxBytes returns the configured storage budget (0 = unbounded).
 func (m *StorageManager) MaxBytes() int64 { return m.maxBytes }
@@ -295,30 +337,18 @@ func (m *StorageManager) UsageBytes() int64 {
 
 // usage snapshots per-entry usage and the distinct-path byte total
 // (two entries can share one output path; it is stored once). Sizes
-// come from one DatasetSizes snapshot: stored outputs are leaf
-// datasets (the engine writes part files directly under OutputPath),
-// so a single map lookup answers each entry, with a prefix scan only
-// for the rare path that is not itself a dataset.
+// come from each entry's version-stamped cache (Entry.storedBytes):
+// stored outputs are leaf datasets the engine writes part files
+// directly under, so after the first sweep an unchanged entry costs one
+// version lookup instead of a sizing pass — EnforceBudget's
+// loop-to-convergence re-snapshots repeatedly, and repositories with
+// tens of thousands of entries sweep without touching the FS accounting
+// for every entry every time.
 func (m *StorageManager) usage() ([]EntryUsage, int64) {
-	sizes := m.fs.DatasetSizes()
-	sizeOf := func(path string) int64 {
-		p := cleanPath(path)
-		if n, ok := sizes[p]; ok {
-			return n
-		}
-		var n int64
-		prefix := p + "/"
-		for d, b := range sizes {
-			if strings.HasPrefix(d, prefix) {
-				n += b
-			}
-		}
-		return n
-	}
 	var out []EntryUsage
 	seen := map[string]int64{}
 	m.repo.Scan(func(e *Entry) bool {
-		u := EntryUsage{Entry: e, Bytes: sizeOf(e.OutputPath)}
+		u := EntryUsage{Entry: e, Bytes: e.storedBytes(m.fs)}
 		u.LastUse, u.TimesReused = e.StoredAt, e.TimesReused
 		if e.LastReused > u.LastUse {
 			u.LastUse = e.LastReused
@@ -417,11 +447,13 @@ func (m *StorageManager) Sweep(now, window time.Duration) SweepResult {
 	return res
 }
 
-// VacuumOrphans deletes the per-query DFS namespaces (restore/<qid>/…
-// and tmp/<qid>/…) of queries that are neither live nor referenced by
-// any repository entry: the sub-job outputs and staged temporaries of
+// VacuumOrphans deletes the per-query DFS namespaces (the
+// restore/<qid>/… and tmp/<qid>/… trees under the configured namespace
+// root) of queries that are neither live nor referenced by any
+// repository entry: the sub-job outputs and staged temporaries of
 // cancelled or failed queries, and the unreferenced inter-job
-// temporaries of completed ones.
+// temporaries of completed ones. Datasets outside the managed
+// namespaces are never touched.
 //
 // live is consulted immediately before each delete and must answer
 // from BOTH a snapshot taken before this call and the current
@@ -448,9 +480,9 @@ func (m *StorageManager) VacuumOrphans(live func(queryID string) bool) (int, int
 	}
 	var count int
 	var bytes int64
-	for _, ns := range []string{"restore", "tmp"} {
+	for _, ns := range m.namespaces() {
 		for _, ds := range m.fs.Datasets(ns) {
-			qid := queryIDOf(ds)
+			qid := queryIDUnder(ns, ds)
 			if qid == "" || live(qid) || referenced(ds) {
 				continue
 			}
@@ -466,14 +498,18 @@ func (m *StorageManager) VacuumOrphans(live func(queryID string) bool) (int, int
 	return count, bytes
 }
 
-// queryIDOf extracts the query ID from a per-query namespace path
-// ("restore/q3/j1/op2" → "q3"); "" when the path has no query segment.
-func queryIDOf(ds string) string {
-	parts := strings.SplitN(ds, "/", 3)
-	if len(parts) < 2 {
+// queryIDUnder extracts the query ID from a dataset path inside
+// namespace ns ("<ns>/q3/j1/op2" → "q3"); "" when the dataset is the
+// namespace itself or lies outside it.
+func queryIDUnder(ns, ds string) string {
+	rel := strings.TrimPrefix(ds, ns+"/")
+	if rel == ds || rel == "" {
 		return ""
 	}
-	return parts[1]
+	if i := strings.IndexByte(rel, '/'); i >= 0 {
+		return rel[:i]
+	}
+	return rel
 }
 
 // cleanPath normalizes a stored path the way the DFS does.

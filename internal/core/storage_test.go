@@ -261,6 +261,151 @@ store B into 'o';
 	}
 }
 
+// TestStoredBytesCache checks the entry size cache: a hit reuses the
+// memoized total without re-sizing (stable snapshot pointer), and any
+// version bump of the output dataset — write, delete — invalidates it.
+func TestStoredBytesCache(t *testing.T) {
+	fs := dfs.New()
+	repo := NewRepository()
+	e := storedEntry(t, repo, fs, "c1", "in1", 100, EntryStats{})
+
+	if got := e.storedBytes(fs); got != 100 {
+		t.Fatalf("storedBytes = %d, want 100", got)
+	}
+	snap := e.size.v.Load()
+	if snap == nil || snap.bytes != 100 {
+		t.Fatalf("cache not populated: %+v", snap)
+	}
+	if e.storedBytes(fs); e.size.v.Load() != snap {
+		t.Errorf("unchanged output re-sized: cache snapshot replaced")
+	}
+
+	// Writing another part file bumps the dataset version: the next
+	// storedBytes must see the new total.
+	if err := fs.WriteFile(e.OutputPath+"/part-00001", make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.storedBytes(fs); got != 150 {
+		t.Errorf("storedBytes after append = %d, want 150", got)
+	}
+
+	// Deleting empties it (and bumps the version again).
+	if err := fs.Delete(e.OutputPath); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.storedBytes(fs); got != 0 {
+		t.Errorf("storedBytes after delete = %d, want 0", got)
+	}
+
+	// Entries outside a repository (no cache installed) still size
+	// correctly.
+	bare := &Entry{OutputPath: "elsewhere/ds"}
+	if err := fs.WriteFile("elsewhere/ds/part-00000", make([]byte, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if got := bare.storedBytes(fs); got != 7 {
+		t.Errorf("uncached storedBytes = %d, want 7", got)
+	}
+}
+
+// TestStoredBytesCacheSurvivesBudgetSweeps checks the budget loop runs
+// off the cache: after a converging EnforceBudget, surviving entries'
+// snapshots are reused on the next sweep, and a fingerprint
+// replacement never inherits the old entry's memoized size.
+func TestStoredBytesCacheSurvivesBudgetSweeps(t *testing.T) {
+	fs := dfs.New()
+	repo := NewRepository()
+	m := NewStorageManager(repo, fs, 10_000, LRUPolicy{})
+	for i := 0; i < 4; i++ {
+		e := storedEntry(t, repo, fs, fmt.Sprintf("s%d", i), fmt.Sprintf("sin%d", i), 1000, EntryStats{})
+		e.StoredAt = time.Duration(i) * time.Minute
+	}
+	m.EnforceBudget(time.Hour) // under budget: sizes everything, caches it
+	snaps := map[string]*sizedVersion{}
+	repo.Scan(func(e *Entry) bool {
+		snaps[e.ID] = e.size.v.Load()
+		return true
+	})
+	m.EnforceBudget(2 * time.Hour)
+	repo.Scan(func(e *Entry) bool {
+		if e.size.v.Load() != snaps[e.ID] {
+			t.Errorf("entry %s re-sized on an unchanged sweep", e.ID)
+		}
+		return true
+	})
+
+	// Replacement: same fingerprint, different output — fresh cache.
+	old := repo.Entries()[0]
+	repl := repo.Insert(&Entry{Plan: old.Plan, OutputPath: "stored/replaced",
+		Stats: EntryStats{InputSimBytes: 1, OutputSimBytes: 1}})
+	if err := fs.WriteFile("stored/replaced/part-00000", make([]byte, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if got := repl.storedBytes(fs); got != 42 {
+		t.Errorf("replacement storedBytes = %d, want 42 (stale cache inherited?)", got)
+	}
+}
+
+// TestNamespacePathNormalizesRoot checks the single layout helper:
+// writers (driver) and the sweeper (janitor) must agree on paths even
+// when the configured root carries stray slashes.
+func TestNamespacePathNormalizes(t *testing.T) {
+	for _, root := range []string{"sys", "sys/", "/sys", "/sys/"} {
+		if got := NamespacePath(root, "tmp", "q1"); got != "sys/tmp/q1" {
+			t.Errorf("NamespacePath(%q) = %q, want sys/tmp/q1", root, got)
+		}
+	}
+	if got := NamespacePath("", "restore", "q2"); got != "restore/q2" {
+		t.Errorf("NamespacePath(\"\") = %q, want restore/q2", got)
+	}
+	// The driver builds its per-query prefixes through the same helper,
+	// so a raw root with a trailing slash cannot divorce its layout
+	// from the janitor's.
+	d := &Driver{NamespaceRoot: "sys/"}
+	if got := d.namespace("tmp", "q3"); got != "sys/tmp/q3" {
+		t.Errorf("driver namespace = %q, want sys/tmp/q3", got)
+	}
+}
+
+// TestNamespaceRootConfinesOrphanSweep checks the configurable
+// namespace root: with a root set, the janitor reclaims only
+// "<root>/restore" and "<root>/tmp" query namespaces — user datasets
+// that happen to live under top-level tmp/ or restore/ are untouched.
+func TestNamespaceRootConfinesOrphanSweep(t *testing.T) {
+	fs := dfs.New()
+	m := NewStorageManager(NewRepository(), fs, 0, nil)
+	m.SetNamespaceRoot("sys")
+
+	write := func(path string) {
+		if err := fs.WriteFile(path, []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// User datasets shadowing the legacy reserved prefixes.
+	write("tmp/mydata/part-00000")
+	write("restore/archive/part-00000")
+	// Dead-query namespaces under the configured root.
+	write("sys/tmp/q1/j1/part-00000")
+	write("sys/restore/q1/j1/op2/part-00000")
+	// A live query's namespace under the root.
+	write("sys/tmp/q2/j1/part-00000")
+
+	n, _ := m.VacuumOrphans(func(qid string) bool { return qid == "q2" })
+	if n != 2 {
+		t.Errorf("reclaimed %d datasets, want 2", n)
+	}
+	for _, p := range []string{"tmp/mydata", "restore/archive", "sys/tmp/q2/j1"} {
+		if !fs.Exists(p) {
+			t.Errorf("%s deleted, want kept", p)
+		}
+	}
+	for _, p := range []string{"sys/tmp/q1", "sys/restore/q1"} {
+		if fs.Exists(p) {
+			t.Errorf("%s kept, want deleted", p)
+		}
+	}
+}
+
 // BenchmarkEnforceBudget measures one over-budget sweep across a
 // populated repository (the storage half of the CI benchmark job).
 func BenchmarkEnforceBudget(b *testing.B) {

@@ -162,7 +162,11 @@ func (fs *FS) ReadFile(path string) ([]byte, error) {
 	return append([]byte(nil), f.data...), nil
 }
 
-// Exists reports whether path names a file or a directory prefix.
+// Exists reports whether path names a file or a directory prefix. The
+// check runs against the dataset accounting, not the file table: one
+// map lookup for the common cases (a file, or a dataset holding part
+// files — the repository validates stored outputs on every match), and
+// a prefix scan proportional to datasets, not files, otherwise.
 func (fs *FS) Exists(path string) bool {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
@@ -170,8 +174,11 @@ func (fs *FS) Exists(path string) bool {
 	if _, ok := fs.files[p]; ok {
 		return true
 	}
+	if _, ok := fs.datasets[p]; ok {
+		return true
+	}
 	prefix := p + "/"
-	for name := range fs.files {
+	for name := range fs.datasets {
 		if strings.HasPrefix(name, prefix) {
 			return true
 		}
@@ -229,18 +236,32 @@ func (fs *FS) Size(path string) int64 {
 	return n
 }
 
-// DatasetSizes returns a snapshot of every dataset's byte total under
-// one lock acquisition — the storage manager's budget accounting sizes
-// hundreds of entry outputs from one snapshot instead of taking the
-// lock per path.
-func (fs *FS) DatasetSizes() map[string]int64 {
+// Stat returns the bytes stored under path together with the
+// modification version of path's dataset, in one lock acquisition.
+// leaf reports whether path itself names a single dataset or file — the
+// way the engine materializes stored outputs — as opposed to a prefix
+// grouping several datasets; a leaf's version covers every byte counted,
+// so callers may cache the size keyed by the version, while a prefix's
+// nested datasets version independently and must be re-sized.
+func (fs *FS) Stat(path string) (bytes int64, version int64, leaf bool) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	out := make(map[string]int64, len(fs.datasets))
-	for name, info := range fs.datasets {
-		out[name] = info.bytes
+	p := clean(path)
+	version = fs.version[datasetOf(p)]
+	if info, ok := fs.datasets[p]; ok {
+		return info.bytes, version, true
 	}
-	return out
+	if f, ok := fs.files[p]; ok {
+		// p names a part file inside a dataset, not a dataset itself.
+		return int64(len(f.data)), version, true
+	}
+	prefix := p + "/"
+	for name, info := range fs.datasets {
+		if strings.HasPrefix(name, prefix) {
+			bytes += info.bytes
+		}
+	}
+	return bytes, version, false
 }
 
 // Datasets returns the dataset paths holding data under prefix, sorted;

@@ -53,6 +53,41 @@ func TestListAndSize(t *testing.T) {
 	}
 }
 
+func TestStat(t *testing.T) {
+	fs := New()
+	fs.WriteFile("out/q1/part-00000", []byte("aaaa"))
+	fs.WriteFile("out/q1/part-00001", []byte("bb"))
+	fs.WriteFile("out/q2/part-00000", []byte("c"))
+
+	// A dataset is a leaf: its version covers every byte counted.
+	n, v, leaf := fs.Stat("out/q1")
+	if n != 6 || !leaf {
+		t.Errorf("Stat(out/q1) = %d bytes leaf=%v, want 6 leaf=true", n, leaf)
+	}
+	if v != fs.Version("out/q1") {
+		t.Errorf("Stat version %d != Version %d", v, fs.Version("out/q1"))
+	}
+	// A part file is a leaf too, versioned by its dataset.
+	if n, v, leaf = fs.Stat("out/q1/part-00001"); n != 2 || !leaf || v != fs.Version("out/q1") {
+		t.Errorf("Stat(part file) = %d/%d/%v", n, v, leaf)
+	}
+	// A prefix of several datasets totals them but is not a leaf: its
+	// nested datasets version independently.
+	if n, _, leaf = fs.Stat("out"); n != 7 || leaf {
+		t.Errorf("Stat(out) = %d bytes leaf=%v, want 7 leaf=false", n, leaf)
+	}
+	// Missing paths: zero bytes, version zero, not a leaf.
+	if n, v, leaf = fs.Stat("nope"); n != 0 || v != 0 || leaf {
+		t.Errorf("Stat(nope) = %d/%d/%v", n, v, leaf)
+	}
+	// Writing bumps the version Stat reports.
+	_, v0, _ := fs.Stat("out/q1")
+	fs.WriteFile("out/q1/part-00002", []byte("dd"))
+	if n, v1, _ := fs.Stat("out/q1"); n != 8 || v1 <= v0 {
+		t.Errorf("Stat after write = %d bytes v%d (was v%d)", n, v1, v0)
+	}
+}
+
 func TestExists(t *testing.T) {
 	fs := New()
 	fs.WriteFile("a/b/part-00000", []byte("x"))

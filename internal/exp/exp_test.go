@@ -171,6 +171,28 @@ func TestStudyConcurrentMeasure(t *testing.T) {
 	}
 }
 
+// TestFigureMShape runs the matcher-scaling experiment on small
+// repositories: one row per size, and FigureM itself fails if the
+// sequential scan and the signature index ever choose different
+// entries (the experiment doubles as a differential check).
+func TestFigureMShape(t *testing.T) {
+	orig := matcherSizes
+	matcherSizes = []int{8, 32}
+	t.Cleanup(func() { matcherSizes = orig })
+	rep, err := FigureM()
+	if err != nil {
+		t.Fatalf("FigureM: %v", err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row[1] == "" || row[2] == "" {
+			t.Errorf("missing timing cells: %v", row)
+		}
+	}
+}
+
 // TestFigureBShape runs the storage-budget experiment at test scale:
 // four rows (unbounded + three policies), every budgeted policy
 // converging under the budget (FigureB itself fails otherwise) with at

@@ -145,11 +145,12 @@ func Figure17() (*Report, error) {
 }
 
 // Order is the paper's presentation order of the experiments, the keys
-// of Runners; "figb" (the storage-budget eviction comparison) extends
+// of Runners; "figb" (the storage-budget eviction comparison) and
+// "figm" (matcher scaling: sequential scan vs signature index) extend
 // the paper's evaluation.
 var Order = []string{
 	"fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-	"table1", "fig15", "table2", "fig16", "fig17", "figb",
+	"table1", "fig15", "table2", "fig16", "fig17", "figb", "figm",
 }
 
 // Runners returns every experiment keyed by name, with the sub-job
@@ -174,6 +175,7 @@ func Runners(st *Study) map[string]func() (*Report, error) {
 		"fig16":  Figure16,
 		"fig17":  Figure17,
 		"figb":   FigureB,
+		"figm":   FigureM,
 	}
 }
 

@@ -118,6 +118,17 @@
 // System.Queries lists the in-flight query handles, and Cancel aborts
 // them by ID or tag; StorageStats reports repository usage, claim
 // traffic, evictions and janitor activity.
+//
+// # Plan matching
+//
+// Reuse opportunities are found through a signature index rather than
+// the paper's sequential repository scan: a probe nominates only the
+// entries whose signature footprint could be contained in the incoming
+// job, in the same preference order the scan would visit them, so match
+// cost scales with plan size instead of repository size. The two modes
+// choose identical entries; Options.LinearMatch restores the scan for
+// comparison. MatcherStats reports probe, candidate and traversal
+// counts and the index's size.
 package restore
 
 import (
@@ -179,6 +190,10 @@ type (
 	// StorageStats snapshots repository usage, claim-protocol traffic,
 	// evictions and janitor activity.
 	StorageStats = core.StorageStats
+	// MatcherStats snapshots the plan-matcher subsystem: index probes
+	// and candidate counts, full containment traversals, memoized
+	// rejections, and the signature index's size.
+	MatcherStats = core.MatcherStats
 	// SweepReport reports one janitor pass.
 	SweepReport = core.SweepResult
 	// ClaimFallback selects a query's behaviour when a materialization
@@ -265,6 +280,17 @@ type Config struct {
 	// defaults to CostBenefitPolicy. ReuseWindowPolicy and LRUPolicy
 	// are the alternatives.
 	Eviction EvictionPolicy
+	// NamespaceRoot confines ReStore's managed DFS namespaces to a
+	// directory of their own: per-query sub-job outputs go under
+	// "<root>/restore/<qid>" and temporaries (including staged STORE
+	// outputs) under "<root>/tmp/<qid>", and the janitor's orphan sweep
+	// reclaims only those two trees. The default "" keeps the legacy
+	// top-level "restore/<qid>" and "tmp/<qid>" layout, in which those
+	// two prefixes are reserved — user datasets written there are
+	// treated as ReStore's own and may be reclaimed. Set a root (e.g.
+	// ".restore") to make every user-visible path off limits to the
+	// janitor.
+	NamespaceRoot string
 	// JanitorInterval starts a background janitor goroutine sweeping
 	// the storage every interval: invalid entries (Rule 4), orphaned
 	// per-query namespaces of dead queries, and over-budget entries.
@@ -330,6 +356,7 @@ func New(cfg Config) *System {
 	if cfg.Cost.DiskReadBW == 0 {
 		cfg.Cost = cluster.DefaultCostModel()
 	}
+	cfg.NamespaceRoot = strings.Trim(cfg.NamespaceRoot, "/")
 	fs := dfs.New()
 	eng := mapreduce.New(fs, mapreduce.Config{
 		Topology:    cfg.Topology,
@@ -340,9 +367,11 @@ func New(cfg Config) *System {
 	})
 	repo := core.NewRepository()
 	store := core.NewStorageManager(repo, fs, cfg.MaxRepositoryBytes, cfg.Eviction)
+	store.SetNamespaceRoot(cfg.NamespaceRoot)
 	driver := core.NewDriver(eng, repo, cfg.Options)
 	driver.Store = store
 	driver.Workers = cfg.WorkflowWorkers
+	driver.NamespaceRoot = cfg.NamespaceRoot
 	if cfg.MaxClusterJobs > 0 {
 		driver.Admission = make(chan struct{}, cfg.MaxClusterJobs)
 	}
@@ -435,6 +464,16 @@ func (s *System) StorageStats() StorageStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.store.Stats()
+}
+
+// MatcherStats snapshots the plan-matcher subsystem: how many indexed
+// candidate probes (and linear scans) the repository has served, the
+// candidate and full-traversal counts behind them, and the signature
+// index's current size.
+func (s *System) MatcherStats() MatcherStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.repo.MatcherStats()
 }
 
 // FS exposes the distributed file system.
@@ -539,6 +578,7 @@ func (s *System) LoadRepository(path string) error {
 	defer s.mu.Unlock()
 	s.repo = repo
 	s.store = core.NewStorageManager(repo, s.fs, s.cfg.MaxRepositoryBytes, s.cfg.Eviction)
+	s.store.SetNamespaceRoot(s.cfg.NamespaceRoot)
 	s.driver.Repo = repo
 	s.driver.Store = s.store
 	return nil
@@ -564,11 +604,17 @@ func (r *Result) Output(userPath string) ([]Tuple, error) {
 // the workflow's job count — useful for inspecting how a query maps to
 // MapReduce jobs.
 func (s *System) Compile(script string) (int, error) {
-	wf, err := s.compile(script, fmt.Sprintf("tmp/c%d", s.nquery.Add(1)))
+	wf, err := s.compile(script, s.tempPrefix(fmt.Sprintf("c%d", s.nquery.Add(1))))
 	if err != nil {
 		return 0, err
 	}
 	return len(wf.Jobs), nil
+}
+
+// tempPrefix is the per-query temp namespace the compiler writes
+// inter-job temporaries under, honoring Config.NamespaceRoot.
+func (s *System) tempPrefix(id string) string {
+	return core.NamespacePath(s.cfg.NamespaceRoot, "tmp", id)
 }
 
 func (s *System) compile(script, tempPrefix string) (*physical.Workflow, error) {
@@ -779,7 +825,7 @@ func (s *System) Submit(ctx context.Context, script string, opts ...ExecOption) 
 		return nil, ErrClosed
 	}
 	qid := fmt.Sprintf("q%d", s.nquery.Add(1))
-	wf, err := s.compile(script, "tmp/"+qid)
+	wf, err := s.compile(script, s.tempPrefix(qid))
 	if err != nil {
 		return nil, err
 	}
