@@ -14,6 +14,7 @@ import (
 
 	"repro"
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/pigmix"
 )
@@ -278,4 +279,60 @@ store s into '%s';
 			}
 		}
 	})
+}
+
+// BenchmarkConcurrentProbe characterizes read-lock contention on the
+// signature index (the PR-4 follow-up): many clients probe a warm
+// repository while a churn goroutine replaces and evicts entries —
+// exactly the shape of a fleet of dashboards sharing one System under
+// storage pressure. Reported ops are indexed Probe calls.
+func BenchmarkConcurrentProbe(b *testing.B) {
+	sys := pigmixSystem(b, restore.Options{Heuristic: restore.NoHeuristic, KeepWholeJobs: true})
+	for _, q := range []string{"L2", "L3", "L4", "L6", "L7"} {
+		runPigMix(b, sys, q)
+	}
+	repo := sys.Repository()
+	entries := repo.Entries()
+	if len(entries) == 0 {
+		b.Fatal("no entries to probe")
+	}
+	b.Logf("repository holds %d entries", len(entries))
+	probe := entries[len(entries)/2].Plan
+
+	// Churn: continuous same-fingerprint replacements (re-sort +
+	// re-index under the write lock) and remove/re-insert cycles.
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e := entries[i%len(entries)]
+			repo.Insert(&core.Entry{Plan: e.Plan, OutputPath: e.OutputPath,
+				Stats: e.Stats, InputVersions: e.InputVersions, OutputVersion: e.OutputVersion})
+			if i%7 == 0 {
+				if removed := repo.Remove(e.ID); removed != nil {
+					repo.Insert(&core.Entry{Plan: removed.Plan, OutputPath: removed.OutputPath,
+						Stats: removed.Stats, InputVersions: removed.InputVersions})
+				}
+			}
+		}
+	}()
+
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := 0
+			repo.Probe(probe, func(e *core.Entry) bool { n++; return true })
+			_ = n
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-churnDone
 }

@@ -9,6 +9,7 @@
 //	restore-cli -script myquery.pig -reuse    # run a script from a file
 //	restore-cli -timeout 30s -query L5        # cancel runs exceeding 30s
 //	restore-cli -max-repo-mb 64 -evict lru    # bound the repository
+//	restore-cli -durable -recover-check ...   # journal + prove recovery
 //	restore-cli -list                         # list PigMix queries
 //
 // Repeated runs share one repository, so with -reuse the second and
@@ -22,6 +23,14 @@
 // or restore/ are never reclaimed; -linear-match falls back to the
 // paper's sequential repository scan (the matcher's per-run statistics
 // print either way).
+//
+// -durable journals every repository mutation to a manifest + event
+// log on the DFS (-durable-path, -compact-every, -lease-ttl tune it)
+// and prints the log's statistics after the runs; -recover-check then
+// recovers a second System over the same DFS — as a restarted process
+// would — and reruns the script warm, proving the recovered repository
+// answers with reuse and that recovery decoded no stored plans.
+// -neg-cache sizes the cross-query negative-containment cache.
 package main
 
 import (
@@ -40,25 +49,31 @@ import (
 
 func main() {
 	var (
-		queryFlag   = flag.String("query", "", "PigMix query name (L2..L8, L11, variants)")
-		scriptFlag  = flag.String("script", "", "path to a Pig Latin script file")
-		scaleFlag   = flag.String("scale", "15GB", "PigMix instance: 15GB or 150GB")
-		repeatFlag  = flag.Int("repeat", 1, "number of times to run the query")
-		reuseFlag   = flag.Bool("reuse", false, "enable plan matching and rewriting")
-		heurFlag    = flag.String("heuristic", "off", "sub-job heuristic: off, conservative, aggressive, no-heuristic")
-		wholeFlag   = flag.Bool("whole-jobs", true, "store whole job outputs in the repository")
-		listFlag    = flag.Bool("list", false, "list available PigMix queries and exit")
-		printFlag   = flag.Bool("print", false, "print up to 20 output rows")
-		workerFlag  = flag.Int("workers", 0, "concurrent jobs per workflow DAG (0 = NumCPU, 1 = serial)")
-		maxJobsFlag = flag.Int("max-cluster-jobs", 0, "global cap on jobs running across all queries (0 = unlimited)")
-		timeoutFlag = flag.Duration("timeout", 0, "per-run deadline; a run exceeding it is cancelled (0 = none)")
-		tagFlag     = flag.String("tag", "", "label attached to each submitted query")
-		budgetFlag  = flag.Int64("max-repo-mb", 0, "repository storage budget in MB (0 = unbounded)")
-		evictFlag   = flag.String("evict", "cost-benefit", "eviction policy under the budget: reuse-window, lru, cost-benefit")
-		windowFlag  = flag.Duration("evict-window", time.Hour, "idle window of the reuse-window policy (simulated time)")
-		janitorFlag = flag.Duration("janitor", 0, "background storage-janitor sweep interval (0 = off)")
-		nsRootFlag  = flag.String("ns-root", "", "root of ReStore's managed namespaces (default: top-level tmp/ and restore/)")
-		linearFlag  = flag.Bool("linear-match", false, "match by sequential repository scan instead of the signature index")
+		queryFlag    = flag.String("query", "", "PigMix query name (L2..L8, L11, variants)")
+		scriptFlag   = flag.String("script", "", "path to a Pig Latin script file")
+		scaleFlag    = flag.String("scale", "15GB", "PigMix instance: 15GB or 150GB")
+		repeatFlag   = flag.Int("repeat", 1, "number of times to run the query")
+		reuseFlag    = flag.Bool("reuse", false, "enable plan matching and rewriting")
+		heurFlag     = flag.String("heuristic", "off", "sub-job heuristic: off, conservative, aggressive, no-heuristic")
+		wholeFlag    = flag.Bool("whole-jobs", true, "store whole job outputs in the repository")
+		listFlag     = flag.Bool("list", false, "list available PigMix queries and exit")
+		printFlag    = flag.Bool("print", false, "print up to 20 output rows")
+		workerFlag   = flag.Int("workers", 0, "concurrent jobs per workflow DAG (0 = NumCPU, 1 = serial)")
+		maxJobsFlag  = flag.Int("max-cluster-jobs", 0, "global cap on jobs running across all queries (0 = unlimited)")
+		timeoutFlag  = flag.Duration("timeout", 0, "per-run deadline; a run exceeding it is cancelled (0 = none)")
+		tagFlag      = flag.String("tag", "", "label attached to each submitted query")
+		budgetFlag   = flag.Int64("max-repo-mb", 0, "repository storage budget in MB (0 = unbounded)")
+		evictFlag    = flag.String("evict", "cost-benefit", "eviction policy under the budget: reuse-window, lru, cost-benefit")
+		windowFlag   = flag.Duration("evict-window", time.Hour, "idle window of the reuse-window policy (simulated time)")
+		janitorFlag  = flag.Duration("janitor", 0, "background storage-janitor sweep interval (0 = off)")
+		nsRootFlag   = flag.String("ns-root", "", "root of ReStore's managed namespaces (default: top-level tmp/ and restore/)")
+		linearFlag   = flag.Bool("linear-match", false, "match by sequential repository scan instead of the signature index")
+		durableFlag  = flag.Bool("durable", false, "journal the repository to a manifest + event log on the DFS (crash-safe, multi-process)")
+		durPathFlag  = flag.String("durable-path", "", "DFS directory of the manifest and event log (default <ns-root>/repo)")
+		compactFlag  = flag.Int("compact-every", 0, "records between automatic log compactions (0 = default 64, negative = never)")
+		leaseTTLFlag = flag.Duration("lease-ttl", 0, "cross-process claim lease TTL (0 = default 1m)")
+		negCacheFlag = flag.Int("neg-cache", 0, "cross-query negative-containment cache entries (0 = default 4096, negative = off)")
+		recoverFlag  = flag.Bool("recover-check", false, "after the runs, recover a fresh System from the durable log and verify it reuses identically")
 	)
 	flag.Parse()
 
@@ -109,6 +124,16 @@ func main() {
 	}
 	cfg.JanitorInterval = *janitorFlag
 	cfg.NamespaceRoot = *nsRootFlag
+	cfg.NegCacheEntries = *negCacheFlag
+	cfg.Durability = restore.DurabilityConfig{
+		Enabled:      *durableFlag,
+		Path:         *durPathFlag,
+		CompactEvery: *compactFlag,
+		LeaseTTL:     *leaseTTLFlag,
+	}
+	if *recoverFlag && !*durableFlag {
+		fail(fmt.Errorf("-recover-check needs -durable"))
+	}
 	sys := restore.New(cfg)
 	defer sys.Close()
 	fmt.Printf("generating PigMix %s instance…\n", scale.Name)
@@ -184,11 +209,44 @@ func main() {
 	}
 	ms := sys.MatcherStats()
 	if ms.Probes > 0 || ms.Scans > 0 {
-		fmt.Printf("matcher: %d probes (%d candidates), %d scans (%d visited), %d traversals, %d matches, %d memo hits; index %d entries / %d signatures\n",
+		fmt.Printf("matcher: %d probes (%d candidates), %d scans (%d visited), %d traversals, %d matches, %d memo hits (%d cross-query); index %d entries / %d signatures\n",
 			ms.Probes, ms.Candidates, ms.Scans, ms.ScanVisited,
-			ms.FullTraversals, ms.Matches, ms.NegativeHits,
+			ms.FullTraversals, ms.Matches, ms.NegativeHits, ms.SharedNegHits,
 			ms.IndexEntries, ms.IndexSignatures)
 	}
+	if *durableFlag {
+		ds := sys.DurabilityStats()
+		fmt.Printf("durable log (%s at %s): %d appends, %d compactions, %d live records, %d entries recovered at open\n",
+			ds.Writer, ds.Root, ds.Appends, ds.Compactions, ds.LogRecords, ds.RecoveredEntries)
+		if ds.Err != "" {
+			fmt.Printf("durable log wedged: %s\n", ds.Err)
+		}
+	}
+	if *recoverFlag {
+		recoverCheck(cfg, sys, script)
+	}
+}
+
+// recoverCheck simulates a restart: recover a fresh System over the
+// same DFS from the durable log and verify it answers a warm run from
+// the recovered repository.
+func recoverCheck(cfg restore.Config, sys *restore.System, script string) {
+	decodesBefore := sys.DurabilityStats().PlanDecodes
+	cold, err := restore.Recover(cfg, sys.FS())
+	if err != nil {
+		fail(fmt.Errorf("recover-check: %w", err))
+	}
+	defer cold.Close()
+	ds := cold.DurabilityStats()
+	fmt.Printf("recover-check: recovered %d entries (writer %s), %d stored plans decoded during recovery\n",
+		ds.RecoveredEntries, ds.Writer, ds.PlanDecodes-decodesBefore)
+	res, err := cold.ExecuteContext(context.Background(), script,
+		restore.WithOptions(restore.Options{Reuse: true}))
+	if err != nil {
+		fail(fmt.Errorf("recover-check run: %w", err))
+	}
+	fmt.Printf("recover-check: warm run reused %d job(s) via %d rewrite(s), simulated %v\n",
+		res.JobsReused, len(res.Rewrites), res.SimTime.Round(res.SimTime/1000+1))
 }
 
 func fail(err error) {

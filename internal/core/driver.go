@@ -247,6 +247,18 @@ func (d *Driver) advance(by time.Duration) {
 	d.clock.Add(int64(by))
 }
 
+// ResumeClock moves the simulated clock forward to at least t — a
+// recovered driver resumes past every persisted entry's timestamp, so
+// reuse-window eviction never sees recovered entries in the future.
+func (d *Driver) ResumeClock(t time.Duration) {
+	for {
+		cur := d.clock.Load()
+		if int64(t) <= cur || d.clock.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
 // jobOutcome accumulates the per-job results of one workflow execution;
 // each scheduled job writes only its own slot, and the outcomes are
 // merged in topological order after the DAG drains so reports stay
@@ -308,6 +320,13 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 		progress = func(string, int, int, time.Duration) {}
 	}
 	wf = wf.Clone()
+
+	// On a shared durable store, fold peers' committed entries into the
+	// local repository before matching: what another process stored is
+	// reusable here from the first probe.
+	if store != nil && opts.Reuse {
+		store.RefreshShared()
+	}
 
 	res := &Result{QueryID: queryID, FinalOutputs: map[string]string{}}
 	for p, v := range wf.FinalOutputs {
@@ -593,7 +612,7 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 		if len(held) > 0 {
 			byFP := make(map[string]*Entry, len(out.stored))
 			for _, e := range out.stored {
-				byFP[e.Plan.Fingerprint()] = e
+				byFP[e.fingerprint()] = e
 			}
 			for fp, c := range held {
 				if e := byFP[fp]; e != nil {
@@ -688,9 +707,15 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 	// Post-execution storage maintenance: the reuse-window and validity
 	// vacuum (Rules 3 and 4, reclaiming evicted sub-job outputs;
 	// user-visible whole-job outputs are left in place) and, when a byte
-	// budget is configured, policy-driven eviction back under it.
-	if store != nil && (opts.EvictionWindow > 0 || store.MaxBytes() > 0) {
-		store.Sweep(d.Now(), opts.EvictionWindow)
+	// budget is configured, policy-driven eviction back under it. On a
+	// durable store, the event log is compacted when due even without a
+	// budget or window.
+	if store != nil {
+		if opts.EvictionWindow > 0 || store.MaxBytes() > 0 {
+			store.Sweep(d.Now(), opts.EvictionWindow)
+		} else {
+			store.MaintainDurable()
+		}
 	}
 
 	res.WallTime = time.Since(start)

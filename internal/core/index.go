@@ -155,7 +155,13 @@ func newPlanIndex() *planIndex {
 // matchEntry can never succeed on them, which is exactly how the
 // sequential scan treats them.
 func (ix *planIndex) add(e *Entry) {
-	f := footprintOf(e.Plan)
+	ix.addWithFootprint(e, footprintOf(e.planSig()))
+}
+
+// addWithFootprint indexes e under a precomputed footprint — the
+// durable-recovery path, where the footprint was persisted with the
+// entry and the plan must not be decoded to rebuild the index.
+func (ix *planIndex) addWithFootprint(e *Entry, f *footprint) {
 	ix.meta[e] = f
 	if f.frontier != "" {
 		ix.postings[f.frontier] = append(ix.postings[f.frontier], e)
@@ -203,7 +209,7 @@ func (ix *planIndex) footprintFor(e *Entry) *footprint {
 	if f := ix.meta[e]; f != nil {
 		return f
 	}
-	return footprintOf(e.Plan)
+	return footprintOf(e.planSig())
 }
 
 // candidates returns, in scan order, the entries whose footprint is a
@@ -244,6 +250,14 @@ type MatcherStats struct {
 	FullTraversals int64
 	Matches        int64
 	NegativeHits   int64
+
+	// Cross-query negative cache: traversals skipped because another
+	// submission had already rejected the same entry version against the
+	// same job fingerprint, rejections evicted by the LRU bound, and the
+	// cache's current size (0 size with 0 hits means it is disabled).
+	SharedNegHits      int64
+	SharedNegEvictions int64
+	SharedNegSize      int
 
 	// IndexEntries and IndexSignatures size the inverted index: entries
 	// currently indexed and distinct frontier signatures posted.

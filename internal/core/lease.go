@@ -1,0 +1,239 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dfs"
+)
+
+// LeaseManager materializes claims as TTL'd lease records in a DFS
+// namespace ("<ns-root>/locks/"), so the claim protocol — one
+// materializer per plan fingerprint, everyone else waits and reuses —
+// holds across processes, not just across the queries of one System.
+// Where the in-process claim table hands waiters the committed *Entry
+// directly, a cross-process waiter learns of the winner's entry through
+// the shared durable event log: the lease only serializes, the log
+// propagates.
+//
+// A lease is one file per fingerprint holding the owner, an expiry
+// deadline, and a fencing version that increments on every takeover of
+// an expired lease. All writes go through the DFS's version
+// compare-and-swap, so two processes racing for one fingerprint resolve
+// to exactly one holder, and a holder whose lease expired and was taken
+// over can never release (or believe it still holds) the successor's
+// lease. Leases are not renewed: the TTL is sized to the longest
+// materialization, and expiry only matters when a holder dies.
+//
+// All methods are safe for concurrent use.
+type LeaseManager struct {
+	fs    *dfs.FS
+	root  string
+	owner string
+	ttl   time.Duration
+	poll  time.Duration
+	// now is the wall clock, injectable so expiry tests need not sleep.
+	now func() time.Time
+
+	granted   atomic.Int64
+	takeovers atomic.Int64
+	reaped    atomic.Int64
+	fenceLost atomic.Int64
+}
+
+// DefaultLeaseTTL is the lease lifetime when none is configured: long
+// enough for any materialization, short enough that a dead process's
+// in-flight claims unblock waiters within a minute.
+const DefaultLeaseTTL = time.Minute
+
+// DefaultLeasePoll is the cross-process lease polling interval.
+const DefaultLeasePoll = 2 * time.Millisecond
+
+// NewLeaseManager returns a manager over the locks namespace at root.
+// owner identifies this process in lease records; ttl and poll default
+// to DefaultLeaseTTL and DefaultLeasePoll when zero.
+func NewLeaseManager(fs *dfs.FS, root, owner string, ttl, poll time.Duration) *LeaseManager {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	if poll <= 0 {
+		poll = DefaultLeasePoll
+	}
+	return &LeaseManager{fs: fs, root: cleanPath(root), owner: owner, ttl: ttl, poll: poll, now: time.Now}
+}
+
+// SetClock injects the wall clock (tests drive expiry without
+// sleeping). Call before any lease traffic.
+func (lm *LeaseManager) SetClock(now func() time.Time) { lm.now = now }
+
+// Lease is one held materialization lease. The version is the lease
+// file's DFS version at acquisition: release and still-held checks CAS
+// against it, so a takeover after expiry is always detected.
+type Lease struct {
+	path    string
+	fence   uint64
+	version int64
+}
+
+// Fence returns the lease's fencing version: it increments every time
+// an expired lease is taken over, so entries materialized under an old
+// fence can be told from the successor's.
+func (l *Lease) Fence() uint64 { return l.fence }
+
+// leaseRecord is the serialized lease file.
+type leaseRecord struct {
+	Fingerprint string
+	Owner       string
+	Fence       uint64
+	// ExpiresUnixNano is the wall-clock deadline; a record past it may
+	// be taken over or reaped.
+	ExpiresUnixNano int64
+}
+
+// leasePath maps a plan fingerprint (which contains path-hostile
+// characters) to its lock file.
+func (lm *LeaseManager) leasePath(fp string) string {
+	sum := sha256.Sum256([]byte(fp))
+	return lm.root + "/" + hex.EncodeToString(sum[:12])
+}
+
+// TryAcquire attempts to take the fingerprint's lease: it succeeds when
+// no lease file exists or the existing one has expired (a takeover,
+// bumping the fence). It returns (nil, false) when another holder's
+// lease is live.
+func (lm *LeaseManager) TryAcquire(fp string) (*Lease, bool) {
+	path := lm.leasePath(fp)
+	for {
+		// Version before content: a write sneaking in between makes the
+		// CAS fail instead of clobbering the sneaking writer's lease.
+		_, ver, _ := lm.fs.Stat(path)
+		data, err := lm.fs.ReadFile(path)
+		fence := uint64(1)
+		if err == nil {
+			var old leaseRecord
+			if decErr := gob.NewDecoder(bytes.NewReader(data)).Decode(&old); decErr == nil {
+				if lm.now().UnixNano() < old.ExpiresUnixNano {
+					return nil, false // held and live
+				}
+				fence = old.Fence + 1
+			}
+		}
+		rec := leaseRecord{
+			Fingerprint:     fp,
+			Owner:           lm.owner,
+			Fence:           fence,
+			ExpiresUnixNano: lm.now().Add(lm.ttl).UnixNano(),
+		}
+		var buf bytes.Buffer
+		if encErr := gob.NewEncoder(&buf).Encode(rec); encErr != nil {
+			return nil, false
+		}
+		newVer, ok := lm.fs.WriteFileIf(path, buf.Bytes(), ver)
+		if ok {
+			lm.granted.Add(1)
+			if fence > 1 {
+				lm.takeovers.Add(1)
+			}
+			return &Lease{path: path, fence: fence, version: newVer}, true
+		}
+		// Lost the CAS; re-read — the winner's lease is probably live.
+	}
+}
+
+// Release gives the lease up. The conditional delete means a lease that
+// expired and was taken over is left to its new holder.
+func (lm *LeaseManager) Release(l *Lease) {
+	if l == nil {
+		return
+	}
+	if !lm.fs.RemoveFileIf(l.path, l.version) {
+		lm.fenceLost.Add(1)
+	}
+}
+
+// StillHeld reports whether the lease file is unchanged since
+// acquisition — false means it expired and was taken over (or reaped).
+func (lm *LeaseManager) StillHeld(l *Lease) bool {
+	return l != nil && lm.fs.Version(l.path) == l.version
+}
+
+// WaitFree blocks until the fingerprint's lease is released or expires
+// (expired leases are reaped on sight), polling the lease file; it
+// returns ctx.Err() on cancellation.
+func (lm *LeaseManager) WaitFree(ctx context.Context, fp string) error {
+	path := lm.leasePath(fp)
+	t := time.NewTicker(lm.poll)
+	defer t.Stop()
+	for {
+		_, ver, _ := lm.fs.Stat(path)
+		data, err := lm.fs.ReadFile(path)
+		if err != nil {
+			return nil // released
+		}
+		var rec leaseRecord
+		if decErr := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); decErr != nil || lm.now().UnixNano() >= rec.ExpiresUnixNano {
+			if lm.fs.RemoveFileIf(path, ver) {
+				lm.reaped.Add(1)
+			}
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// ReapExpired deletes every expired (or undecodable) lease record in
+// the locks namespace, returning how many went; the janitor calls it so
+// a crashed process's claims cannot outlive their TTL by much.
+func (lm *LeaseManager) ReapExpired() int {
+	n := 0
+	for _, ds := range lm.fs.Datasets(lm.root) {
+		if ds == lm.root {
+			continue
+		}
+		_, ver, _ := lm.fs.Stat(ds)
+		data, err := lm.fs.ReadFile(ds)
+		if err != nil {
+			continue
+		}
+		var rec leaseRecord
+		if decErr := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); decErr == nil && lm.now().UnixNano() < rec.ExpiresUnixNano {
+			continue
+		}
+		if lm.fs.RemoveFileIf(ds, ver) {
+			lm.reaped.Add(1)
+			n++
+		}
+	}
+	return n
+}
+
+// LeaseStats is a point-in-time snapshot of the lease manager.
+type LeaseStats struct {
+	// Granted counts leases this process acquired (Takeovers of them by
+	// fencing out an expired holder); Reaped counts expired leases
+	// deleted by waits and janitor sweeps; FenceLost counts releases
+	// that found the lease already taken over.
+	Granted   int64
+	Takeovers int64
+	Reaped    int64
+	FenceLost int64
+}
+
+// Stats snapshots the counters.
+func (lm *LeaseManager) Stats() LeaseStats {
+	return LeaseStats{
+		Granted:   lm.granted.Load(),
+		Takeovers: lm.takeovers.Load(),
+		Reaped:    lm.reaped.Load(),
+		FenceLost: lm.fenceLost.Load(),
+	}
+}

@@ -149,11 +149,12 @@ type MatchResult struct {
 // matchEntry runs the containment test of one repository entry against
 // an input job plan and classifies the result.
 func matchEntry(e *Entry, jobPlan *physical.Plan, jobSig PlanSig, mainStoreInput int) (*MatchResult, bool) {
-	mapping, ok := Match(e.Plan, jobSig)
+	plan := e.planSig() // recovered entries decode here, on first traversal
+	mapping, ok := Match(plan, jobSig)
 	if !ok {
 		return nil, false
 	}
-	res := e.Plan.resultOp()
+	res := plan.resultOp()
 	if res < 0 {
 		return nil, false
 	}

@@ -76,6 +76,68 @@ type Entry struct {
 	// skips unexported fields); entries outside a repository carry nil
 	// and fall back to uncached sizing.
 	size *outputSize
+
+	// fp caches the plan's canonical fingerprint. Stamped before the
+	// entry is published (Insert, recovery), so recovered entries answer
+	// identity questions without decoding their plan.
+	fp string
+
+	// lazy, on entries recovered from the durable log, holds the
+	// still-encoded plan: the footprint and fingerprint persisted
+	// alongside it serve the index and identity, and the plan itself is
+	// decoded only when a containment traversal first needs it.
+	lazy *lazyPlan
+
+	// logSeq is the durable-log sequence number of the record that last
+	// wrote this entry (zero outside durable repositories). Replaying a
+	// log record older than the entry's current state is a no-op.
+	logSeq uint64
+}
+
+// lazyPlan defers decoding a recovered entry's plan until a matcher
+// traversal needs it. Entries are shared across goroutines, so the
+// decode is a Once.
+type lazyPlan struct {
+	once sync.Once
+	enc  []byte
+	plan PlanSig
+}
+
+// planDecodes counts lazy plan decodes process-wide; the recovery suite
+// asserts a cold recovery performs none.
+var planDecodes atomic.Int64
+
+// PlanDecodes reports how many recovered entry plans have been decoded
+// so far in this process (cold recovery must not decode any: footprints
+// and fingerprints are persisted; plans are needed only by containment
+// traversals).
+func PlanDecodes() int64 { return planDecodes.Load() }
+
+// planSig returns the entry's plan signature DAG, decoding a recovered
+// entry's persisted encoding on first use.
+func (e *Entry) planSig() PlanSig {
+	if e.lazy == nil {
+		return e.Plan
+	}
+	e.lazy.once.Do(func() {
+		planDecodes.Add(1)
+		var p PlanSig
+		if err := gob.NewDecoder(bytes.NewReader(e.lazy.enc)).Decode(&p); err == nil {
+			e.lazy.plan = p
+		}
+	})
+	return e.lazy.plan
+}
+
+// fingerprint returns the plan's canonical fingerprint from the cache
+// stamped at insert/recovery time, computing it only for entries that
+// never passed through a repository.
+func (e *Entry) fingerprint() string {
+	if e.fp != "" {
+		return e.fp
+	}
+	p := e.planSig()
+	return p.Fingerprint()
 }
 
 // outputSize is the version-stamped size cache of one entry's stored
@@ -141,6 +203,26 @@ type Repository struct {
 	byFP    map[string]*Entry
 	index   *planIndex
 
+	// idPrefix prefixes generated entry IDs ("e3" → "<prefix>e3") so
+	// repositories journaling into one shared durable log — each process
+	// allocates IDs independently — can never collide. Set once before
+	// the first Insert.
+	idPrefix string
+
+	// jn, when non-nil, receives every entry mutation under the write
+	// lock: the durable event log appends a record per Insert
+	// (including replacement), Remove, EvictUnpinned and Vacuum.
+	// Replayed records from other processes are applied through
+	// applyPut/applyRemove, which bypass it.
+	jn journal
+
+	// negs is the bounded cross-query negative-containment cache; a nil
+	// pointer disables it. It is read on the match path while the
+	// repository read lock is already held, so it hangs off an atomic
+	// pointer rather than the lock. Keys hold entry pointers, so it is
+	// invalidated whenever an entry is replaced or removed.
+	negs atomic.Pointer[negCache]
+
 	// pinMu guards pins. Lock order: mu before pinMu (Pin is called
 	// from Scan callbacks holding mu's read side; Vacuum checks pins
 	// while holding mu's write side; nothing takes pinMu then mu).
@@ -163,9 +245,48 @@ type Repository struct {
 	negHits         atomic.Int64
 }
 
-// NewRepository returns an empty repository.
+// NewRepository returns an empty repository with the default-sized
+// cross-query negative cache.
 func NewRepository() *Repository {
-	return &Repository{byFP: map[string]*Entry{}, pins: map[string]int{}, index: newPlanIndex()}
+	r := &Repository{
+		byFP:  map[string]*Entry{},
+		pins:  map[string]int{},
+		index: newPlanIndex(),
+	}
+	r.negs.Store(newNegCache(DefaultNegCacheSize))
+	return r
+}
+
+// SetIDPrefix makes generated entry IDs "<prefix>eN". Durable
+// repositories set their writer ID here so two processes inserting into
+// one shared log never mint the same ID. Call before the first Insert.
+func (r *Repository) SetIDPrefix(prefix string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.idPrefix = prefix
+}
+
+// journal receives repository mutations under the write lock; the
+// durable event log implements it. pos is the entry's scan position
+// after the mutation, persisted so recovery can rebuild the Rules 1/2
+// order without re-running the ordering comparisons.
+type journal interface {
+	appendPut(e *Entry, f *footprint, pos int)
+	appendRemove(e *Entry)
+}
+
+// SetJournal installs the mutation journal (nil detaches it). Existing
+// entries are not retro-journaled; attach before the first mutation.
+func (r *Repository) SetJournal(j journal) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.jn = j
+}
+
+// SetNegCacheSize resizes the cross-query negative-containment cache to
+// hold at most n rejections (n <= 0 disables it). The cache is cleared.
+func (r *Repository) SetNegCacheSize(n int) {
+	r.negs.Store(newNegCache(n))
 }
 
 // Len returns the number of entries.
@@ -240,7 +361,7 @@ func (r *Repository) MatcherStats() MatcherStats {
 	r.mu.RLock()
 	entries, sigs := len(r.index.meta), len(r.index.postings)
 	r.mu.RUnlock()
-	return MatcherStats{
+	st := MatcherStats{
 		Probes:          r.probes.Load(),
 		Candidates:      r.probeCandidates.Load(),
 		Scans:           r.scans.Load(),
@@ -251,6 +372,20 @@ func (r *Repository) MatcherStats() MatcherStats {
 		IndexEntries:    entries,
 		IndexSignatures: sigs,
 	}
+	st.SharedNegHits, st.SharedNegEvictions, st.SharedNegSize = r.negs.Load().stats()
+	return st
+}
+
+// sharedNegCached reports whether the cross-query cache has memoized
+// this entry-version/job rejection. It takes no repository lock (the
+// match path calls it while already holding the read side).
+func (r *Repository) sharedNegCached(k negKey) bool {
+	return r.negs.Load().lookup(k)
+}
+
+// cacheSharedNeg memoizes a failed containment test across queries.
+func (r *Repository) cacheSharedNeg(k negKey) {
+	r.negs.Load().add(k)
 }
 
 // Lookup returns the entry whose plan fingerprint equals that of sig,
@@ -271,7 +406,7 @@ func (r *Repository) Lookup(sig PlanSig) *Entry {
 // statistics can change the entry's Rule 2 rank, and the matcher relies
 // on candidate order being the preference order.
 func (r *Repository) Insert(e *Entry) *Entry {
-	fp := e.Plan.Fingerprint()
+	fp := e.fingerprint()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if old := r.byFP[fp]; old != nil {
@@ -291,22 +426,41 @@ func (r *Repository) Insert(e *Entry) *Entry {
 			}
 		}
 		r.index.remove(old)
+		r.negs.Load().invalidate(old)
 		r.index.add(&ne)
 		r.insertOrdered(&ne)
 		r.byFP[fp] = &ne
+		r.journalPut(&ne)
 		return &ne
 	}
 	r.nextID++
 	if e.ID == "" {
-		e.ID = fmt.Sprintf("e%d", r.nextID)
+		e.ID = fmt.Sprintf("%se%d", r.idPrefix, r.nextID)
 	}
+	e.fp = fp
 	if e.size == nil {
 		e.size = &outputSize{}
 	}
 	r.index.add(e)
 	r.insertOrdered(e)
 	r.byFP[fp] = e
+	r.journalPut(e)
 	return e
+}
+
+// journalPut reports an inserted or replaced entry to the journal with
+// its post-insert scan position (mu held).
+func (r *Repository) journalPut(e *Entry) {
+	if r.jn != nil {
+		r.jn.appendPut(e, r.index.footprintFor(e), r.index.pos[e.ID])
+	}
+}
+
+// journalRemove reports a removed entry to the journal (mu held).
+func (r *Repository) journalRemove(e *Entry) {
+	if r.jn != nil {
+		r.jn.appendRemove(e)
+	}
 }
 
 // insertOrdered splices e into its Rules 1/2 scan position and
@@ -334,8 +488,8 @@ func (r *Repository) insertOrdered(e *Entry) {
 // cheap.
 func (r *Repository) before(a, b *Entry) bool {
 	af, bf := r.index.footprintFor(a), r.index.footprintFor(b)
-	aSubsumesB := bf.coveredBy(af) && Contains(a.Plan, b.Plan)
-	bSubsumesA := af.coveredBy(bf) && Contains(b.Plan, a.Plan)
+	aSubsumesB := bf.coveredBy(af) && Contains(a.planSig(), b.planSig())
+	bSubsumesA := af.coveredBy(bf) && Contains(b.planSig(), a.planSig())
 	if aSubsumesB != bSubsumesA {
 		return aSubsumesB
 	}
@@ -361,8 +515,10 @@ func (r *Repository) EvictUnpinned(ids []string) []*Entry {
 		for i, e := range r.entries {
 			if e.ID == id {
 				r.entries = append(r.entries[:i], r.entries[i+1:]...)
-				delete(r.byFP, e.Plan.Fingerprint())
+				delete(r.byFP, e.fingerprint())
 				r.index.remove(e)
+				r.negs.Load().invalidate(e)
+				r.journalRemove(e)
 				removed = append(removed, e)
 				break
 			}
@@ -381,8 +537,10 @@ func (r *Repository) Remove(id string) *Entry {
 	for i, e := range r.entries {
 		if e.ID == id {
 			r.entries = append(r.entries[:i], r.entries[i+1:]...)
-			delete(r.byFP, e.Plan.Fingerprint())
+			delete(r.byFP, e.fingerprint())
 			r.index.remove(e)
+			r.negs.Load().invalidate(e)
+			r.journalRemove(e)
 			r.index.renumber(r.entries)
 			return e
 		}
@@ -435,8 +593,10 @@ func (r *Repository) Vacuum(fs *dfs.FS, now time.Duration, window time.Duration)
 			}
 		}
 		if bad {
-			delete(r.byFP, e.Plan.Fingerprint())
+			delete(r.byFP, e.fingerprint())
 			r.index.remove(e)
+			r.negs.Load().invalidate(e)
+			r.journalRemove(e)
 			removed = append(removed, e)
 		} else {
 			kept = append(kept, e)
@@ -487,23 +647,49 @@ func (r *Repository) pinned(id string) bool {
 	return r.pins[id] > 0
 }
 
-// gobRepository is the serialized form. The signature index is not
-// persisted: LoadRepository rebuilds it from the entries in one pass.
+// gobRepository is the serialized form of the legacy snapshot format
+// (format compatibility is pinned by a golden-file test). The signature
+// index is not persisted: LoadRepository rebuilds it from the entries
+// in one pass.
 type gobRepository struct {
 	Entries []*Entry
 	NextID  int
 }
 
-// Save persists the repository into the DFS at path.
+// Save persists the repository into the DFS at path. The snapshot is
+// written to a temporary sibling and renamed into place, so a crash
+// mid-save can never leave a torn repository file: path holds either
+// the previous complete snapshot or the new one.
 func (r *Repository) Save(fs *dfs.FS, path string) error {
 	r.mu.RLock()
+	entries := make([]*Entry, len(r.entries))
+	for i, e := range r.entries {
+		if e.lazy != nil {
+			// Recovered entries keep their plan encoded; the legacy
+			// snapshot format stores it decoded.
+			se := *e
+			se.Plan = e.planSig()
+			e = &se
+		}
+		entries[i] = e
+	}
+	// Encode while still holding the read lock: NoteReuse mutates usage
+	// counters in place under the write lock, so gob's reflection must
+	// not read the entries unlocked.
 	var buf bytes.Buffer
-	err := gob.NewEncoder(&buf).Encode(gobRepository{Entries: r.entries, NextID: r.nextID})
+	err := gob.NewEncoder(&buf).Encode(gobRepository{Entries: entries, NextID: r.nextID})
 	r.mu.RUnlock()
 	if err != nil {
 		return fmt.Errorf("core: encoding repository: %w", err)
 	}
-	return fs.WriteFile(path, buf.Bytes())
+	tmp := path + ".saving"
+	if err := fs.WriteFile(tmp, buf.Bytes()); err != nil {
+		return fmt.Errorf("core: saving repository: %w", err)
+	}
+	if _, err := fs.Rename(tmp, path); err != nil {
+		return fmt.Errorf("core: committing repository snapshot: %w", err)
+	}
+	return nil
 }
 
 // LoadRepository restores a repository saved with Save, rebuilding the
@@ -522,9 +708,73 @@ func LoadRepository(fs *dfs.FS, path string) (*Repository, error) {
 	r.entries = g.Entries
 	for _, e := range r.entries {
 		e.size = &outputSize{}
-		r.byFP[e.Plan.Fingerprint()] = e
+		e.fp = e.Plan.Fingerprint()
+		r.byFP[e.fp] = e
 		r.index.add(e)
 	}
 	r.index.renumber(r.entries)
 	return r, nil
+}
+
+// lookupFP returns the entry with the given plan fingerprint, or nil.
+func (r *Repository) lookupFP(fp string) *Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byFP[fp]
+}
+
+// applyPut applies a replayed durable-log put: insert e (replacing any
+// entry with the same fingerprint) at scan position pos, using the
+// record's persisted footprint, without journaling. A local entry
+// written by a log record at or after seq wins over the replay.
+func (r *Repository) applyPut(e *Entry, f *footprint, pos int, seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old := r.byFP[e.fp]; old != nil {
+		if old.logSeq >= seq {
+			return
+		}
+		for i, x := range r.entries {
+			if x == old {
+				r.entries = append(r.entries[:i], r.entries[i+1:]...)
+				break
+			}
+		}
+		r.index.remove(old)
+		r.negs.Load().invalidate(old)
+	}
+	e.logSeq = seq
+	if e.size == nil {
+		e.size = &outputSize{}
+	}
+	if pos < 0 || pos > len(r.entries) {
+		pos = len(r.entries)
+	}
+	r.entries = append(r.entries, nil)
+	copy(r.entries[pos+1:], r.entries[pos:])
+	r.entries[pos] = e
+	r.index.addWithFootprint(e, f)
+	r.index.renumber(r.entries)
+	r.byFP[e.fp] = e
+}
+
+// applyRemove applies a replayed durable-log remove without journaling;
+// an entry rewritten locally after seq survives.
+func (r *Repository) applyRemove(id string, seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, e := range r.entries {
+		if e.ID != id {
+			continue
+		}
+		if e.logSeq > seq {
+			return
+		}
+		r.entries = append(r.entries[:i], r.entries[i+1:]...)
+		delete(r.byFP, e.fingerprint())
+		r.index.remove(e)
+		r.negs.Load().invalidate(e)
+		r.index.renumber(r.entries)
+		return
+	}
 }

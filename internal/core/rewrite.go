@@ -165,10 +165,19 @@ func (rw *Rewriter) findBestMatch(job *physical.Job, allowWhole bool) *MatchResu
 			negHits++
 			return true
 		}
+		// The shared cross-query cache is consulted after the local memo
+		// (which is free of locks shared with other submissions) and fed
+		// on every rejection, so fleets of near-identical submissions
+		// skip traversals their predecessors already paid for.
+		if rw.Repo.sharedNegCached(k) {
+			rw.cacheNeg(k)
+			return true
+		}
 		traversals++
 		res, ok := matchEntry(e, job.Plan, jobSig, mainStoreInput)
 		if !ok {
 			rw.cacheNeg(k)
+			rw.Repo.cacheSharedNeg(k)
 			return true
 		}
 		if res.WholePlan && !allowWhole {

@@ -50,6 +50,19 @@ type StorageManager struct {
 	// never reclaimed. Set once at construction, before any sweep.
 	nsRoot string
 
+	// queryPrefix, when non-empty, restricts the orphan sweep to this
+	// process's own per-query namespaces (query IDs carry the writer
+	// prefix when several processes share one DFS); each process
+	// janitors only its own debris, never a peer's live query.
+	queryPrefix string
+
+	// durable and leases extend the claim protocol across processes:
+	// the durable event log propagates committed entries between
+	// repositories sharing one DFS, and leases serialize materialization
+	// per fingerprint fleet-wide. Both nil for a process-local store.
+	durable *DurableLog
+	leases  *LeaseManager
+
 	mu     sync.Mutex
 	claims map[string]*Claim
 
@@ -59,6 +72,8 @@ type StorageManager struct {
 	claimsAborted   atomic.Int64
 	claimWaits      atomic.Int64
 	claimReuses     atomic.Int64
+	leaseWaits      atomic.Int64
+	leaseShared     atomic.Int64
 	evictions       atomic.Int64
 	evictedBytes    atomic.Int64
 	sweeps          atomic.Int64
@@ -122,6 +137,41 @@ func NamespacePath(root string, parts ...string) string {
 // MaxBytes returns the configured storage budget (0 = unbounded).
 func (m *StorageManager) MaxBytes() int64 { return m.maxBytes }
 
+// SetQueryPrefix confines the orphan sweep to query IDs carrying the
+// prefix; processes sharing one DFS must each sweep only their own
+// queries (a peer's registry is invisible here, so every foreign
+// namespace would look dead). Call once at construction.
+func (m *StorageManager) SetQueryPrefix(prefix string) {
+	m.queryPrefix = prefix
+}
+
+// SetDurable attaches the cross-process machinery: the durable event
+// log (for propagating committed entries between repositories sharing
+// one DFS) and the lease manager (for serializing materialization
+// per fingerprint across processes). Call once at construction.
+func (m *StorageManager) SetDurable(dl *DurableLog, lm *LeaseManager) {
+	m.durable = dl
+	m.leases = lm
+}
+
+// RefreshShared folds other processes' committed entries into the local
+// repository (a no-op for process-local stores); the driver calls it
+// when an execution starts, so a cold process reuses what its peers
+// stored without waiting for lease contention.
+func (m *StorageManager) RefreshShared() {
+	if m.durable != nil {
+		m.durable.Refresh()
+	}
+}
+
+// MaintainDurable runs post-execution durable upkeep: compacting the
+// event log when enough records accumulated.
+func (m *StorageManager) MaintainDurable() {
+	if m.durable != nil {
+		_ = m.durable.MaybeCompact()
+	}
+}
+
 // Claim is one granted materialization right: the holder is the only
 // execution allowed to materialize the output of the claimed plan
 // fingerprint until it commits or aborts.
@@ -132,6 +182,9 @@ type Claim struct {
 	// entry is written by Commit before done closes; readers observe it
 	// only after <-done.
 	entry *Entry
+	// lease is the cross-process lease backing a won claim when lease
+	// mode is on; released when the claim resolves.
+	lease *Lease
 }
 
 // Fingerprint returns the claimed plan fingerprint.
@@ -155,21 +208,78 @@ func (c *Claim) Wait(ctx context.Context) (*Entry, error) {
 // TryClaim grants the fingerprint to owner if it is unclaimed. It
 // returns (claim, true) when the caller won and must later Commit or
 // Abort it, or (other holder's claim, false) for the caller to Wait on.
+//
+// In lease mode (SetDurable with a LeaseManager), winning the local
+// claim table is necessary but not sufficient: the fingerprint's DFS
+// lease must be acquired too. When another process holds it, the local
+// claim stays registered — queued local queries wait on it as usual —
+// and a relay goroutine resolves it when the remote holder finishes:
+// with the holder's committed entry (read from the shared log) exactly
+// as if a local winner had committed, or as an abort when the holder
+// released (or its lease expired) without a matching entry.
 func (m *StorageManager) TryClaim(fp, owner string) (*Claim, bool) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if c := m.claims[fp]; c != nil {
+		m.mu.Unlock()
 		return c, false
 	}
 	c := &Claim{fp: fp, owner: owner, done: make(chan struct{})}
 	m.claims[fp] = c
+	m.mu.Unlock()
+	if m.leases != nil {
+		lease, ok := m.leases.TryAcquire(fp)
+		if !ok {
+			// Lost to another process: a relay goroutine watches the
+			// holder's lease and resolves this claim from the shared
+			// log when it frees.
+			m.leaseWaits.Add(1)
+			go m.relayRemote(c)
+			return c, false
+		}
+		// Won — but a peer may have materialized this fingerprint and
+		// released its lease since our last refresh. Fold the log and
+		// re-check before claiming the right to materialize: if the
+		// entry already exists, resolve the claim with it immediately
+		// (the caller re-rewrites against it, as a lease waiter would).
+		if m.durable != nil {
+			m.durable.Refresh()
+			if e := m.repo.lookupFP(fp); e != nil && m.repo.Valid(e, m.fs) {
+				m.leases.Release(lease)
+				m.leaseShared.Add(1)
+				m.Commit(c, e)
+				return c, false
+			}
+		}
+		c.lease = lease
+	}
 	m.claimsGranted.Add(1)
 	return c, true
 }
 
+// relayRemote resolves a claim whose fingerprint another process is
+// materializing: wait for the holder's lease to free (or expire), fold
+// its log records into the local repository, and commit the claim with
+// the entry it published — or abort, sending waiters back through their
+// fallback policy.
+func (m *StorageManager) relayRemote(c *Claim) {
+	_ = m.leases.WaitFree(context.Background(), c.fp)
+	if m.durable != nil {
+		m.durable.Refresh()
+	}
+	if e := m.repo.lookupFP(c.fp); e != nil && m.repo.Valid(e, m.fs) {
+		m.leaseShared.Add(1)
+		m.Commit(c, e)
+		return
+	}
+	m.Abort(c)
+}
+
 // Commit resolves a won claim with the entry the winner registered;
 // waiters wake and reuse it. The entry itself is already in the
-// repository (the driver inserts at registration time).
+// repository (the driver inserts at registration time), and — when
+// durability is on — so is its log record: the journal appends inside
+// Insert, so by the time the lease releases here, a remote waiter's
+// refresh is guaranteed to see the entry.
 func (m *StorageManager) Commit(c *Claim, e *Entry) {
 	m.release(c)
 	c.entry = e
@@ -189,9 +299,13 @@ func (m *StorageManager) Abort(c *Claim) {
 
 func (m *StorageManager) release(c *Claim) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.claims[c.fp] == c {
 		delete(m.claims, c.fp)
+	}
+	m.mu.Unlock()
+	if c.lease != nil && m.leases != nil {
+		m.leases.Release(c.lease)
+		c.lease = nil
 	}
 }
 
@@ -431,12 +545,17 @@ type SweepResult struct {
 	// reclaimed (janitor sweeps only).
 	OrphanDatasets int
 	OrphanBytes    int64
+	// LeasesReaped counts expired cross-process lease records deleted
+	// (janitor sweeps of a durable store only).
+	LeasesReaped int
 }
 
 // Sweep runs one maintenance pass: Rule 4 (invalid entries), Rule 3
 // (entries idle beyond window, when window > 0), then budget
-// enforcement. The driver calls it after executions that store or
-// evict; the janitor calls it periodically with the orphan vacuum.
+// enforcement; on a durable store it also reaps expired cross-process
+// leases (a crashed peer's in-flight claims) and compacts the event log
+// when due. The driver calls it after executions that store or evict;
+// the janitor calls it periodically with the orphan vacuum.
 func (m *StorageManager) Sweep(now, window time.Duration) SweepResult {
 	m.sweeps.Add(1)
 	var res SweepResult
@@ -444,6 +563,10 @@ func (m *StorageManager) Sweep(now, window time.Duration) SweepResult {
 	res.EntriesVacuumed = len(vacuumed)
 	m.deleteOwnedOutputs(vacuumed)
 	res.EntriesEvicted = len(m.EnforceBudget(now))
+	if m.leases != nil {
+		res.LeasesReaped = m.leases.ReapExpired()
+	}
+	m.MaintainDurable()
 	return res
 }
 
@@ -485,6 +608,9 @@ func (m *StorageManager) VacuumOrphans(live func(queryID string) bool) (int, int
 			qid := queryIDUnder(ns, ds)
 			if qid == "" || live(qid) || referenced(ds) {
 				continue
+			}
+			if m.queryPrefix != "" && !strings.HasPrefix(qid, m.queryPrefix) {
+				continue // another process's query; its own janitor decides
 			}
 			n := m.fs.Size(ds)
 			if m.fs.Delete(ds) == nil {
@@ -538,6 +664,15 @@ type StorageStats struct {
 	ClaimWaits      int64
 	ClaimsShared    int64
 
+	// Cross-process lease counters (durable stores only). LeaseWaits
+	// counts claims lost to another process's lease; LeasesShared how
+	// many of those resolved to that process's committed entry, reused
+	// here instead of re-materialized. Leases carries the lease
+	// manager's own counters (grants, takeovers, reaps, fencing).
+	LeaseWaits   int64
+	LeasesShared int64
+	Leases       LeaseStats
+
 	// Eviction and janitor counters.
 	Evictions      int64
 	EvictedBytes   int64
@@ -551,7 +686,7 @@ func (m *StorageManager) Stats() StorageStats {
 	m.mu.Lock()
 	active := len(m.claims)
 	m.mu.Unlock()
-	return StorageStats{
+	st := StorageStats{
 		Entries:         m.repo.Len(),
 		UsageBytes:      m.UsageBytes(),
 		BudgetBytes:     m.maxBytes,
@@ -562,10 +697,16 @@ func (m *StorageManager) Stats() StorageStats {
 		ClaimsAborted:   m.claimsAborted.Load(),
 		ClaimWaits:      m.claimWaits.Load(),
 		ClaimsShared:    m.claimReuses.Load(),
+		LeaseWaits:      m.leaseWaits.Load(),
+		LeasesShared:    m.leaseShared.Load(),
 		Evictions:       m.evictions.Load(),
 		EvictedBytes:    m.evictedBytes.Load(),
 		Sweeps:          m.sweeps.Load(),
 		OrphanDatasets:  m.orphanDatasets.Load(),
 		OrphanBytes:     m.orphanBytes.Load(),
 	}
+	if m.leases != nil {
+		st.Leases = m.leases.Stats()
+	}
+	return st
 }

@@ -38,6 +38,12 @@ type FS struct {
 
 	bytesRead    int64
 	bytesWritten int64
+
+	// writeFault, when non-nil, intercepts every file commit (the Close
+	// of a Create, and so WriteFile): it may truncate the committed
+	// bytes and/or return an error, simulating a crash that tears a
+	// write mid-flight. Test-only; see SetWriteFault.
+	writeFault func(path string, data []byte) ([]byte, error)
 }
 
 type file struct {
@@ -97,14 +103,34 @@ func (w *fileWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
 func (w *fileWriter) Close() error {
 	w.fs.mu.Lock()
 	defer w.fs.mu.Unlock()
+	data := append([]byte(nil), w.buf.Bytes()...)
+	var faultErr error
+	if w.fs.writeFault != nil {
+		data, faultErr = w.fs.writeFault(w.path, data)
+		if faultErr != nil && data == nil {
+			return faultErr // crash before any byte hit the disk
+		}
+	}
 	if old, ok := w.fs.files[w.path]; ok {
 		w.fs.accountLocked(w.path, -int64(len(old.data)), -1)
 	}
-	w.fs.files[w.path] = &file{data: append([]byte(nil), w.buf.Bytes()...)}
-	w.fs.bytesWritten += int64(w.buf.Len())
-	w.fs.accountLocked(w.path, int64(w.buf.Len()), 1)
+	w.fs.files[w.path] = &file{data: data}
+	w.fs.bytesWritten += int64(len(data))
+	w.fs.accountLocked(w.path, int64(len(data)), 1)
 	w.fs.bumpLocked(datasetOf(w.path))
-	return nil
+	return faultErr
+}
+
+// SetWriteFault installs (or, with nil, removes) a commit interceptor
+// for crash-injection tests: every file commit passes its bytes through
+// fn, which may truncate them (returning a prefix simulates a torn
+// write: the prefix is committed and the error surfaces to the writer)
+// or drop them entirely (nil bytes plus an error: nothing hits the
+// disk). Production code never sets it.
+func (fs *FS) SetWriteFault(fn func(path string, data []byte) ([]byte, error)) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.writeFault = fn
 }
 
 func (fs *FS) bumpLocked(dataset string) {
@@ -358,6 +384,56 @@ func (fs *FS) Rename(oldPath, newPath string) (int64, error) {
 	fs.bumpLocked(datasetOf(op))
 	fs.bumpLocked(datasetOf(np))
 	return fs.version[datasetOf(np)], nil
+}
+
+// WriteFileIf writes data to path only if the version of path's dataset
+// still equals expect — the version the caller last observed (zero for a
+// dataset never touched; note that deletes bump versions, so "absent"
+// does not imply version zero: observe via Stat or Version first). The
+// read-check-write is one critical section, making it the
+// compare-and-swap primitive the durable repository's log appends and
+// the cross-process lease records are built on. It returns the
+// dataset's new version and whether the write was applied; on a lost
+// race nothing is written.
+func (fs *FS) WriteFileIf(path string, data []byte, expect int64) (int64, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	p := clean(path)
+	ds := datasetOf(p)
+	if fs.version[ds] != expect {
+		return fs.version[ds], false
+	}
+	if old, ok := fs.files[p]; ok {
+		fs.accountLocked(p, -int64(len(old.data)), -1)
+	}
+	fs.files[p] = &file{data: append([]byte(nil), data...)}
+	fs.bytesWritten += int64(len(data))
+	fs.accountLocked(p, int64(len(data)), 1)
+	fs.bumpLocked(ds)
+	return fs.version[ds], true
+}
+
+// RemoveFileIf deletes the file at path only if its dataset version
+// still equals expect, reporting whether the delete was applied. It is
+// the conditional-release half of the lease protocol: a holder whose
+// lease expired and was taken over observes a newer version and must
+// not clobber the new holder's record.
+func (fs *FS) RemoveFileIf(path string, expect int64) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	p := clean(path)
+	ds := datasetOf(p)
+	if fs.version[ds] != expect {
+		return false
+	}
+	f, ok := fs.files[p]
+	if !ok {
+		return false
+	}
+	fs.accountLocked(p, -int64(len(f.data)), -1)
+	delete(fs.files, p)
+	fs.bumpLocked(ds)
+	return true
 }
 
 // Version returns the modification version of the dataset containing

@@ -321,3 +321,98 @@ func TestDatasets(t *testing.T) {
 		t.Errorf("Datasets(nope) = %v, want none", got)
 	}
 }
+
+func TestWriteFileIfCAS(t *testing.T) {
+	fs := New()
+	// Create against the never-written version.
+	v0 := fs.Version("cas/file")
+	v1, ok := fs.WriteFileIf("cas/file", []byte("one"), v0)
+	if !ok || v1 == v0 {
+		t.Fatalf("initial CAS write failed (ok=%v v=%d)", ok, v1)
+	}
+	// Stale expectation loses; nothing is written.
+	if _, ok := fs.WriteFileIf("cas/file", []byte("loser"), v0); ok {
+		t.Fatal("stale CAS write succeeded")
+	}
+	if got, _ := fs.ReadFile("cas/file"); string(got) != "one" {
+		t.Fatalf("lost CAS mutated the file: %q", got)
+	}
+	// Fresh expectation wins.
+	if _, ok := fs.WriteFileIf("cas/file", []byte("two"), v1); !ok {
+		t.Fatal("up-to-date CAS write failed")
+	}
+	if got, _ := fs.ReadFile("cas/file"); string(got) != "two" {
+		t.Fatalf("CAS write not applied: %q", got)
+	}
+	// Deletion bumps the version, so "absent" is not "version zero":
+	// a writer that observed the pre-delete state must lose.
+	vDel := fs.Version("cas/file")
+	if err := fs.Delete("cas/file"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fs.WriteFileIf("cas/file", []byte("zombie"), vDel); ok {
+		t.Fatal("CAS against the pre-delete version succeeded")
+	}
+}
+
+func TestRemoveFileIf(t *testing.T) {
+	fs := New()
+	v0 := fs.Version("lock/a")
+	v, ok := fs.WriteFileIf("lock/a", []byte("lease"), v0)
+	if !ok {
+		t.Fatal("setup write failed")
+	}
+	if fs.RemoveFileIf("lock/a", v-1) {
+		t.Fatal("stale conditional delete succeeded")
+	}
+	if !fs.Exists("lock/a") {
+		t.Fatal("stale delete removed the file")
+	}
+	if !fs.RemoveFileIf("lock/a", v) {
+		t.Fatal("up-to-date conditional delete failed")
+	}
+	if fs.Exists("lock/a") {
+		t.Fatal("file survived conditional delete")
+	}
+	if fs.RemoveFileIf("lock/a", v) {
+		t.Fatal("deleting an absent file succeeded")
+	}
+}
+
+func TestWriteFaultTearsAndDrops(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("f/data", []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	// Torn write: a prefix commits, the error surfaces, accounting and
+	// version reflect the torn content.
+	fs.SetWriteFault(func(path string, data []byte) ([]byte, error) {
+		return data[:2], io.ErrShortWrite
+	})
+	if err := fs.WriteFile("f/data", []byte("replacement")); err == nil {
+		t.Fatal("torn write reported no error")
+	}
+	if got, _ := fs.ReadFile("f/data"); string(got) != "re" {
+		t.Fatalf("torn write committed %q, want the 2-byte prefix", got)
+	}
+	if n := fs.Size("f/data"); n != 2 {
+		t.Fatalf("accounting after torn write = %d bytes, want 2", n)
+	}
+	// Dropped write: nothing committed at all.
+	fs.SetWriteFault(func(path string, data []byte) ([]byte, error) {
+		return nil, io.ErrClosedPipe
+	})
+	if err := fs.WriteFile("f/data", []byte("x")); err == nil {
+		t.Fatal("dropped write reported no error")
+	}
+	if got, _ := fs.ReadFile("f/data"); string(got) != "re" {
+		t.Fatalf("dropped write mutated the file: %q", got)
+	}
+	fs.SetWriteFault(nil)
+	if err := fs.WriteFile("f/data", []byte("healed")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile("f/data"); string(got) != "healed" {
+		t.Fatalf("write after clearing the fault: %q", got)
+	}
+}

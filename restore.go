@@ -119,6 +119,38 @@
 // them by ID or tag; StorageStats reports repository usage, claim
 // traffic, evictions and janitor activity.
 //
+// # Durability and multi-process serving
+//
+// With Config.Durability enabled, the repository survives restarts and
+// is shared by every System recovered over the same DFS:
+//
+//   - Event log. Every repository mutation appends a record — entry
+//     metadata, fingerprint, signature footprint, scan position, and
+//     the plan as an opaque blob — to an append-only log on the DFS
+//     before the mutation is acknowledged; periodic compaction folds
+//     the log into a manifest via write-temp-then-rename. Recover
+//     replays manifest + log, rebuilding the signature index from the
+//     persisted footprints without decoding a single stored plan
+//     (plans decode lazily on first use by a containment traversal).
+//     A crash at any boundary recovers to exactly the acknowledged
+//     state.
+//
+//   - Claim leases. Materialization claims are backed by TTL'd lease
+//     records with fencing versions in a locks namespace on the DFS, so
+//     two processes about to materialize the same sub-job resolve to
+//     one winner; the loser waits on the lease, folds the winner's log
+//     records into its own repository, and reuses the committed entry.
+//     Options.DisableClaims and Options.ClaimFallback behave exactly as
+//     they do in-process. The janitor reaps expired leases, so a
+//     crashed process's in-flight claims unblock its peers within the
+//     TTL.
+//
+// Each recovered System gets a process-unique writer identity: query
+// IDs, repository entry IDs and the janitor's orphan sweep are scoped
+// by it, so co-tenants never collide in the shared namespaces.
+// DurabilityStats reports recovery size and log traffic; CompactLog and
+// RefreshRepository expose the background maintenance on demand.
+//
 // # Plan matching
 //
 // Reuse opportunities are found through a signature index rather than
@@ -199,6 +231,11 @@ type (
 	// ClaimFallback selects a query's behaviour when a materialization
 	// claim it waited on is aborted.
 	ClaimFallback = core.ClaimFallback
+	// DurabilityStats snapshots the durable repository: recovery size,
+	// event-log traffic, compactions, and lazy plan decodes.
+	DurabilityStats = core.DurabilityStats
+	// LeaseStats snapshots the cross-process lease manager.
+	LeaseStats = core.LeaseStats
 )
 
 // The claim fallback modes.
@@ -293,12 +330,51 @@ type Config struct {
 	NamespaceRoot string
 	// JanitorInterval starts a background janitor goroutine sweeping
 	// the storage every interval: invalid entries (Rule 4), orphaned
-	// per-query namespaces of dead queries, and over-budget entries.
-	// Zero disables the goroutine; Sweep still runs a pass on demand.
+	// per-query namespaces of dead queries, over-budget entries, and —
+	// on a durable store — expired cross-process leases and due log
+	// compactions. Zero disables the goroutine; Sweep still runs a pass
+	// on demand.
 	JanitorInterval time.Duration
+	// NegCacheEntries bounds the cross-query negative-containment cache
+	// (rejected containment tests memoized across submissions, keyed by
+	// entry version and job fingerprint and invalidated on entry
+	// replacement or removal). Zero keeps the default
+	// (core.DefaultNegCacheSize); negative disables the cache.
+	NegCacheEntries int
+	// Durability makes the repository survive restarts and lets several
+	// Systems opened over one DFS (see Recover) share it.
+	Durability DurabilityConfig
 	// Options configures ReStore (reuse off by default: the engine then
 	// behaves like stock Pig/Hadoop).
 	Options Options
+}
+
+// DurabilityConfig configures the durable repository: a crash-safe
+// manifest + append-only event log on the DFS, plus cross-process claim
+// leases. Zero-valued, durability is off and the repository lives in
+// process memory exactly as before.
+type DurabilityConfig struct {
+	// Enabled turns the subsystem on: every repository mutation is
+	// journaled to the DFS before it is acknowledged, recovery (Recover,
+	// or opening over a DFS that already holds a log) replays
+	// manifest + log — rebuilding the signature index from persisted
+	// footprints without decoding any stored plan — and materialization
+	// claims are backed by TTL'd lease records under "<ns-root>/locks/",
+	// so Systems in different processes sharing one DFS share in-flight
+	// materializations instead of duplicating them.
+	Enabled bool
+	// Path is the DFS directory holding the manifest and event log;
+	// empty defaults to "<NamespaceRoot>/repo".
+	Path string
+	// CompactEvery folds the event log into a fresh manifest after this
+	// many appended records (0 = default 64, negative = never compact
+	// automatically).
+	CompactEvery int
+	// LeaseTTL bounds how long a crashed process's claims can block
+	// peers (0 = default 1 minute); LeasePoll is the cross-process lease
+	// polling interval (0 = default 2ms).
+	LeaseTTL  time.Duration
+	LeasePoll time.Duration
 }
 
 // DefaultConfig returns a configuration mirroring the paper's testbed
@@ -332,6 +408,12 @@ type System struct {
 	cfg    Config
 	nquery atomic.Int64
 
+	// durable is the durability subsystem's event log (nil when
+	// Config.Durability is off); qidPrefix makes query IDs unique across
+	// processes sharing one DFS ("w2q3" instead of "q3").
+	durable   *core.DurableLog
+	qidPrefix string
+
 	// qmu guards the in-flight query registry. A query is registered
 	// before its first DFS write and deregistered only after its
 	// execution fully returns, so the janitor's live-query snapshot
@@ -344,8 +426,32 @@ type System struct {
 	janitorDone chan struct{}
 }
 
-// New creates a System.
+// New creates a System over a fresh, empty DFS.
 func New(cfg Config) *System {
+	s, err := Recover(cfg, dfs.New())
+	if err != nil {
+		// A fresh DFS holds no manifest or log to mis-decode; reaching
+		// here means the configuration itself is unusable.
+		panic(fmt.Sprintf("restore: New: %v", err))
+	}
+	return s
+}
+
+// Recover opens a System over an existing DFS. With Config.Durability
+// enabled it replays the durable repository — manifest plus event log —
+// rebuilding the signature index from the persisted footprints (no
+// stored plan is decoded) and resuming the simulated clock past every
+// persisted event; on a DFS holding no log yet, it initializes one.
+// Several Systems may be recovered over one DFS concurrently: they
+// share the repository through the event log and serialize sub-job
+// materialization through cross-process claim leases, and each gets a
+// process-unique writer identity (query IDs, entry IDs and the
+// janitor's orphan sweep are all scoped by it).
+//
+// Without durability, Recover simply attaches a fresh in-memory
+// repository to the given DFS (the legacy SaveRepository/LoadRepository
+// flow still works there).
+func Recover(cfg Config, fs *dfs.FS) (*System, error) {
 	if cfg.DefaultReducers <= 0 {
 		if cfg.Topology.Workers > 0 {
 			cfg.DefaultReducers = cfg.Topology.ReduceSlots()
@@ -357,7 +463,6 @@ func New(cfg Config) *System {
 		cfg.Cost = cluster.DefaultCostModel()
 	}
 	cfg.NamespaceRoot = strings.Trim(cfg.NamespaceRoot, "/")
-	fs := dfs.New()
 	eng := mapreduce.New(fs, mapreduce.Config{
 		Topology:    cfg.Topology,
 		Cost:        cfg.Cost,
@@ -365,9 +470,43 @@ func New(cfg Config) *System {
 		RecordScale: cfg.RecordScale,
 		SplitSize:   cfg.SplitSize,
 	})
-	repo := core.NewRepository()
+
+	var (
+		repo    *core.Repository
+		durable *core.DurableLog
+		leases  *core.LeaseManager
+		prefix  string
+	)
+	if cfg.Durability.Enabled {
+		root := strings.Trim(cfg.Durability.Path, "/")
+		if root == "" {
+			root = core.NamespacePath(cfg.NamespaceRoot, "repo")
+		}
+		var err error
+		durable, repo, err = core.OpenDurableLog(fs, core.DurableConfig{
+			Root:         root,
+			CompactEvery: cfg.Durability.CompactEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		leases = core.NewLeaseManager(fs, core.NamespacePath(cfg.NamespaceRoot, "locks"),
+			durable.Writer(), cfg.Durability.LeaseTTL, cfg.Durability.LeasePoll)
+		durable.SetCompactLock(leases)
+		prefix = durable.Writer()
+	} else {
+		repo = core.NewRepository()
+	}
+	if cfg.NegCacheEntries != 0 {
+		repo.SetNegCacheSize(cfg.NegCacheEntries)
+	}
+
 	store := core.NewStorageManager(repo, fs, cfg.MaxRepositoryBytes, cfg.Eviction)
 	store.SetNamespaceRoot(cfg.NamespaceRoot)
+	if durable != nil {
+		store.SetDurable(durable, leases)
+		store.SetQueryPrefix(prefix + "q")
+	}
 	driver := core.NewDriver(eng, repo, cfg.Options)
 	driver.Store = store
 	driver.Workers = cfg.WorkflowWorkers
@@ -375,21 +514,26 @@ func New(cfg Config) *System {
 	if cfg.MaxClusterJobs > 0 {
 		driver.Admission = make(chan struct{}, cfg.MaxClusterJobs)
 	}
+	if durable != nil {
+		driver.ResumeClock(durable.MaxSimTime())
+	}
 	s := &System{
-		fs:      fs,
-		eng:     eng,
-		repo:    repo,
-		store:   store,
-		driver:  driver,
-		cfg:     cfg,
-		queries: map[string]*Query{},
+		fs:        fs,
+		eng:       eng,
+		repo:      repo,
+		store:     store,
+		driver:    driver,
+		cfg:       cfg,
+		durable:   durable,
+		qidPrefix: prefix,
+		queries:   map[string]*Query{},
 	}
 	if cfg.JanitorInterval > 0 {
 		s.janitorStop = make(chan struct{})
 		s.janitorDone = make(chan struct{})
 		go s.janitor(cfg.JanitorInterval)
 	}
-	return s
+	return s, nil
 }
 
 // janitor is the background storage sweeper: every interval it vacuums
@@ -568,11 +712,20 @@ func (s *System) SaveRepository(path string) error {
 
 // LoadRepository replaces the current repository with one previously
 // saved at path, rebuilding the storage manager over it. It waits for
-// in-flight executions to drain.
+// in-flight executions to drain. On a durable System it fails: the
+// repository there is recovered from the event log (Recover), and
+// swapping in an unjournaled snapshot would silently fork the durable
+// state.
 func (s *System) LoadRepository(path string) error {
+	if s.durable != nil {
+		return fmt.Errorf("restore: LoadRepository is unsupported with durability enabled; the repository is recovered from the event log")
+	}
 	repo, err := core.LoadRepository(s.fs, path)
 	if err != nil {
 		return err
+	}
+	if s.cfg.NegCacheEntries != 0 {
+		repo.SetNegCacheSize(s.cfg.NegCacheEntries)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -582,6 +735,37 @@ func (s *System) LoadRepository(path string) error {
 	s.driver.Repo = repo
 	s.driver.Store = s.store
 	return nil
+}
+
+// DurabilityStats snapshots the durable repository subsystem: recovery
+// size, log append/replay/compaction traffic, and the crash-injection
+// wedge state. The zero value is returned when durability is off.
+func (s *System) DurabilityStats() DurabilityStats {
+	if s.durable == nil {
+		return DurabilityStats{}
+	}
+	return s.durable.Stats()
+}
+
+// CompactLog folds the durable event log into a fresh manifest now
+// (normally this happens automatically every
+// Config.Durability.CompactEvery records). A no-op without durability.
+func (s *System) CompactLog() error {
+	if s.durable == nil {
+		return nil
+	}
+	return s.durable.Compact()
+}
+
+// RefreshRepository folds entries committed by other processes sharing
+// this DFS into the local repository, returning how many were applied.
+// Executions refresh automatically; this is for callers inspecting the
+// repository between queries. A no-op without durability.
+func (s *System) RefreshRepository() int {
+	if s.durable == nil {
+		return 0
+	}
+	return s.durable.Refresh()
 }
 
 // Result reports one executed query.
@@ -604,7 +788,7 @@ func (r *Result) Output(userPath string) ([]Tuple, error) {
 // the workflow's job count — useful for inspecting how a query maps to
 // MapReduce jobs.
 func (s *System) Compile(script string) (int, error) {
-	wf, err := s.compile(script, s.tempPrefix(fmt.Sprintf("c%d", s.nquery.Add(1))))
+	wf, err := s.compile(script, s.tempPrefix(fmt.Sprintf("%sc%d", s.qidPrefix, s.nquery.Add(1))))
 	if err != nil {
 		return 0, err
 	}
@@ -645,6 +829,7 @@ type execConfig struct {
 	workers  int
 	tag      string
 	observer func(jobID string, state JobState)
+	progress func(jobID string, done, total int, sim time.Duration)
 }
 
 // WithOptions replaces the query's entire ReStore configuration,
@@ -675,6 +860,13 @@ func WithTag(tag string) ExecOption {
 // unexported, for deterministic lifecycle tests.
 func withJobObserver(fn func(jobID string, state JobState)) ExecOption {
 	return func(c *execConfig) { c.observer = fn }
+}
+
+// withJobProgress registers a synchronous task-progress callback —
+// called while the job executes, i.e. while it holds its claims and
+// leases; unexported, for deterministic cross-process claim tests.
+func withJobProgress(fn func(jobID string, done, total int, sim time.Duration)) ExecOption {
+	return func(c *execConfig) { c.progress = fn }
 }
 
 // ErrInFlight is returned by Query.Result while the query is still
@@ -824,7 +1016,7 @@ func (s *System) Submit(ctx context.Context, script string, opts ...ExecOption) 
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	qid := fmt.Sprintf("q%d", s.nquery.Add(1))
+	qid := fmt.Sprintf("%sq%d", s.qidPrefix, s.nquery.Add(1))
 	wf, err := s.compile(script, s.tempPrefix(qid))
 	if err != nil {
 		return nil, err
@@ -873,6 +1065,9 @@ func (s *System) Submit(ctx context.Context, script string, opts ...ExecOption) 
 			p.TasksDone, p.TasksTotal, p.SimTime = done, total, sim
 			q.progress[jobID] = p
 			q.mu.Unlock()
+			if ec.progress != nil {
+				ec.progress(jobID, done, total, sim)
+			}
 		},
 	}
 
