@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dfs"
+)
+
+// Repro: writer A compacts while one of its own appends lands between
+// Compact's refresh and its snapshot. The fold horizon extends past
+// dl.applied through the self map, trim deletes the record, and
+// applied is never advanced — so A's refresh permanently stalls on the
+// trimmed slot and never applies writer B's later records.
+func TestZZCompactRefreshStall(t *testing.T) {
+	fs := dfs.New()
+	dlA, repoA := openDurable(t, fs, "sys/repo")
+
+	// Seed one entry and drain refresh so applied == head.
+	repoA.Insert(durableEntry(t, fs, indexCorpus[0], 0))
+	dlA.Refresh()
+
+	// Simulate the race deterministically by doing what Compact does,
+	// with an append landing between the refresh and the snapshot.
+	dlA.refreshMu.Lock()
+	if _, err := dlA.refreshLocked(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		repoA.Insert(durableEntry(t, fs, indexCorpus[1], 1)) // concurrent append
+	}()
+	wg.Wait() // append done before snapshot, as the race allows
+	recs, folded, err := dlA.snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlA.refreshMu.Unlock()
+	t.Logf("applied=%d folded=%d", func() uint64 { dlA.seqMu.Lock(); defer dlA.seqMu.Unlock(); return dlA.applied }(), folded)
+	_ = recs
+	// Finish the compaction exactly as Compact does.
+	if err := dlA.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writer B appends a new entry.
+	dlB, repoB := openDurable(t, fs, "sys/repo")
+	repoB.Insert(durableEntry(t, fs, indexCorpus[2], 2))
+
+	// A must eventually see B's entry via Refresh.
+	n := dlA.Refresh()
+	t.Logf("refresh applied %d records; repoA has %d entries (want 3)", n, repoA.Len())
+	if repoA.Len() != 3 {
+		t.Fatalf("writer A stalled: has %d entries, want 3", repoA.Len())
+	}
+}
