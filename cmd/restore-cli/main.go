@@ -10,6 +10,7 @@
 //	restore-cli -timeout 30s -query L5        # cancel runs exceeding 30s
 //	restore-cli -max-repo-mb 64 -evict lru    # bound the repository
 //	restore-cli -durable -recover-check ...   # journal + prove recovery
+//	restore-cli -durable -backend disk -data-dir /var/restore  # persist to disk
 //	restore-cli -list                         # list PigMix queries
 //
 // Repeated runs share one repository, so with -reuse the second and
@@ -31,6 +32,12 @@
 // would — and reruns the script warm, proving the recovered repository
 // answers with reuse and that recovery decoded no stored plans.
 // -neg-cache sizes the cross-query negative-containment cache.
+//
+// -backend picks the DFS substrate: "memory" (the default, volatile)
+// or "disk", which persists datasets and the record log under
+// -data-dir so a killed process's acknowledged state survives a real
+// restart — rerunning with the same -data-dir recovers the repository
+// and skips regenerating the PigMix instance.
 package main
 
 import (
@@ -44,6 +51,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/dfs"
 	"repro/internal/pigmix"
 )
 
@@ -74,6 +82,8 @@ func main() {
 		leaseTTLFlag = flag.Duration("lease-ttl", 0, "cross-process claim lease TTL (0 = default 1m)")
 		negCacheFlag = flag.Int("neg-cache", 0, "cross-query negative-containment cache entries (0 = default 4096, negative = off)")
 		recoverFlag  = flag.Bool("recover-check", false, "after the runs, recover a fresh System from the durable log and verify it reuses identically")
+		backendFlag  = flag.String("backend", "memory", "DFS backend: memory (volatile) or disk (persistent, needs -data-dir)")
+		dataDirFlag  = flag.String("data-dir", "", "directory of the disk backend's datasets and record log")
 	)
 	flag.Parse()
 
@@ -134,13 +144,40 @@ func main() {
 	if *recoverFlag && !*durableFlag {
 		fail(fmt.Errorf("-recover-check needs -durable"))
 	}
-	sys := restore.New(cfg)
-	defer sys.Close()
-	fmt.Printf("generating PigMix %s instance…\n", scale.Name)
-	if _, err := pigmix.Generate(sys.FS(), scale, 1); err != nil {
+	var fs dfs.Backend
+	switch *backendFlag {
+	case "memory":
+		fs = dfs.New()
+	case "disk":
+		if *dataDirFlag == "" {
+			fail(fmt.Errorf("-backend=disk needs -data-dir"))
+		}
+		disk, err := dfs.OpenDisk(*dataDirFlag)
+		if err != nil {
+			fail(err)
+		}
+		defer disk.Close()
+		fs = disk
+	default:
+		fail(fmt.Errorf("unknown backend %q (want memory or disk)", *backendFlag))
+	}
+	sys, err := restore.Recover(cfg, fs)
+	if err != nil {
 		fail(err)
 	}
-	sys.SetScales(pigmix.SimScaleFor(sys.FS(), scale), pigmix.RecordScaleFor(scale))
+	defer sys.Close()
+	// A recovered disk backend already holds the instance; regenerating
+	// would bump the input datasets' versions and invalidate every
+	// repository entry derived from them.
+	if fs.Size(pigmix.PathPageViews) > 0 {
+		fmt.Printf("reusing PigMix instance found on the %s backend\n", *backendFlag)
+	} else {
+		fmt.Printf("generating PigMix %s instance…\n", scale.Name)
+		if _, err := pigmix.Generate(fs, scale, 1); err != nil {
+			fail(err)
+		}
+	}
+	sys.SetScales(pigmix.SimScaleFor(fs, scale), pigmix.RecordScaleFor(scale))
 
 	// Reuse policy and worker bound are per-query options on each
 	// submission, not global state: concurrent clients of one System

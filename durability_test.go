@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -16,6 +17,21 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfs"
 )
+
+// newTestFS returns the DFS backend the durability suite runs against:
+// in-memory by default, the on-disk backend in a per-test directory
+// when RESTORE_TEST_BACKEND=disk (CI runs the suite once per backend).
+func newTestFS(t testing.TB) dfs.Backend {
+	if os.Getenv("RESTORE_TEST_BACKEND") == "disk" {
+		d, err := dfs.OpenDisk(t.TempDir())
+		if err != nil {
+			t.Fatalf("OpenDisk: %v", err)
+		}
+		t.Cleanup(func() { d.Close() })
+		return d
+	}
+	return dfs.New()
+}
 
 // durableConfig is a durability-enabled configuration storing
 // aggressively, so workloads populate the repository.
@@ -26,7 +42,7 @@ func durableConfig() Config {
 	return cfg
 }
 
-func seedEventsFS(t *testing.T, fs *dfs.FS) {
+func seedEventsFS(t *testing.T, fs dfs.Backend) {
 	t.Helper()
 	cfg := DefaultConfig()
 	sys, err := Recover(cfg, fs)
@@ -68,7 +84,7 @@ func repoFingerprint(r *core.Repository) string {
 // plan during recovery.
 func TestRecoverAfterRestart(t *testing.T) {
 	// Reference: one long-lived system, cold run then warm rerun.
-	fsRef := dfs.New()
+	fsRef := newTestFS(t)
 	seedEventsFS(t, fsRef)
 	ref, err := Recover(durableConfig(), fsRef)
 	if err != nil {
@@ -81,7 +97,7 @@ func TestRecoverAfterRestart(t *testing.T) {
 	}
 
 	// Restart flow: same workload, then recovery in a "new process".
-	fs := dfs.New()
+	fs := newTestFS(t)
 	seedEventsFS(t, fs)
 	sysA, err := Recover(durableConfig(), fs)
 	if err != nil {
@@ -128,7 +144,7 @@ func TestRecoverAfterRestart(t *testing.T) {
 // the same warm-query SimTime as an uncrashed run.
 func TestRecoverCrashMatrix(t *testing.T) {
 	// Uncrashed reference for the warm-query SimTime.
-	fsRef := dfs.New()
+	fsRef := newTestFS(t)
 	seedEventsFS(t, fsRef)
 	ref, err := Recover(durableConfig(), fsRef)
 	if err != nil {
@@ -142,7 +158,7 @@ func TestRecoverCrashMatrix(t *testing.T) {
 
 	for _, point := range []string{"append-done", "compact-begin", "compact-manifest", "compact-rename", "compact-trim", "compact-done"} {
 		t.Run(point, func(t *testing.T) {
-			fs := dfs.New()
+			fs := newTestFS(t)
 			seedEventsFS(t, fs)
 			sysA, err := Recover(durableConfig(), fs)
 			if err != nil {
@@ -206,7 +222,7 @@ func TestRecoverCrashMatrix(t *testing.T) {
 func TestTwoSystemsShareMaterialization(t *testing.T) {
 	// Serial baseline on a single durable system: run the two queries
 	// back to back.
-	fsSerial := dfs.New()
+	fsSerial := newTestFS(t)
 	seedEventsFS(t, fsSerial)
 	serial, err := Recover(durableConfig(), fsSerial)
 	if err != nil {
@@ -225,7 +241,7 @@ func TestTwoSystemsShareMaterialization(t *testing.T) {
 
 	// Two "processes" over one DFS. A is gated mid-materialization via
 	// the job observer so B demonstrably contends on the lease.
-	fs := dfs.New()
+	fs := newTestFS(t)
 	seedEventsFS(t, fs)
 	sysA, err := Recover(durableConfig(), fs)
 	if err != nil {
@@ -363,7 +379,7 @@ func TestAtomicSaveRegression(t *testing.T) {
 // snapshot under a durable System would fork the durable state; it must
 // refuse.
 func TestLoadRepositoryRejectedWhenDurable(t *testing.T) {
-	fs := dfs.New()
+	fs := newTestFS(t)
 	sys, err := Recover(durableConfig(), fs)
 	if err != nil {
 		t.Fatal(err)
@@ -381,7 +397,7 @@ func TestLoadRepositoryRejectedWhenDurable(t *testing.T) {
 // TestDurableJanitorReapsLeases: the background sweep deletes a dead
 // peer's expired lease records.
 func TestDurableJanitorReapsLeases(t *testing.T) {
-	fs := dfs.New()
+	fs := newTestFS(t)
 	cfg := durableConfig()
 	cfg.Durability.LeaseTTL = time.Millisecond
 	sys, err := Recover(cfg, fs)

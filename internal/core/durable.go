@@ -182,7 +182,7 @@ func entryOf(rec *entryRecord) (*Entry, *footprint) {
 // repository lock) and owns recovery, refresh (tailing other writers'
 // records) and compaction. All methods are safe for concurrent use.
 type DurableLog struct {
-	fs     *dfs.FS
+	fs     dfs.Backend
 	root   string
 	repo   *Repository
 	writer string
@@ -217,6 +217,7 @@ type DurableLog struct {
 	replayed    atomic.Int64
 	compactions atomic.Int64
 	resyncs     atomic.Int64
+	torn        atomic.Int64
 	recovered   int
 	// maxSim is the largest simulated timestamp seen across recovered
 	// and replayed entries (atomic: live refresh updates it too).
@@ -229,7 +230,7 @@ type DurableLog struct {
 // persisted footprints, fingerprints and positions; no stored plan is
 // decoded — and attaches itself as the repository's journal, so every
 // subsequent mutation is logged before it is acknowledged.
-func OpenDurableLog(fs *dfs.FS, cfg DurableConfig) (*DurableLog, *Repository, error) {
+func OpenDurableLog(fs dfs.Backend, cfg DurableConfig) (*DurableLog, *Repository, error) {
 	root := cleanPath(cfg.Root)
 	if root == "" {
 		return nil, nil, fmt.Errorf("core: durable log needs a root path")
@@ -391,10 +392,19 @@ func (dl *DurableLog) append(rec *logRecord) (uint64, bool) {
 			break
 		}
 		if dl.fs.Exists(p) {
-			// Another writer took this sequence; its record is durable,
-			// ours moves up one.
+			// Another writer took this sequence — or our own CAS tore
+			// mid-write, leaving unacknowledged garbage in the slot.
+			// Either way the slot is consumed; ours moves up one.
 			seq++
 			continue
+		}
+		if dl.fs.Version(p) == 0 {
+			// The CAS expected version zero, the slot is still at
+			// version zero and holds nothing: the write itself was
+			// dropped (crash injection, failing storage). Drop the
+			// record as a crashed writer would — retrying or probing
+			// upward would spin against storage that accepts nothing.
+			return 0, false
 		}
 		// Trimmed slot: a peer compacted past us. Restart above its
 		// fold horizon; the skipped span is folded into the manifest,
@@ -447,9 +457,13 @@ func (dl *DurableLog) refreshLocked() (int, error) {
 		}
 		var rec logRecord
 		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
-			return n, fmt.Errorf("core: decoding log record %d: %w", next, err)
-		}
-		if rec.Writer != dl.writer {
+			// An undecodable record is a torn CAS write: the writer
+			// crashed mid-append, so the record was never acknowledged
+			// and losing it is correct — skip the slot and keep
+			// replaying. (The writer itself saw the failed CAS and
+			// moved its record up one sequence.)
+			dl.torn.Add(1)
+		} else if rec.Writer != dl.writer {
 			dl.applyRecord(&rec)
 			n++
 		}
@@ -630,6 +644,14 @@ func (dl *DurableLog) Compact() error {
 // not-yet-"applied" appends (reflected locally by construction). A
 // foreign record beyond that stays in the log and replays over the
 // manifest.
+//
+// Every self-authored record the fold horizon passes is marked applied
+// here, under the same lock that extends the horizon. The horizon may
+// legitimately run ahead of the last refresh — an own append can land
+// between Compact's refresh and this snapshot — and trim is about to
+// delete those records; if applied lagged behind, the next refresh
+// would wait forever on a trimmed slot the unchanged manifest can
+// never resync it past (the compact/refresh stall).
 func (dl *DurableLog) snapshot() ([]*entryRecord, uint64, error) {
 	r := dl.repo
 	r.mu.RLock()
@@ -642,10 +664,20 @@ func (dl *DurableLog) snapshot() ([]*entryRecord, uint64, error) {
 		}
 		recs = append(recs, rec)
 	}
+	// The repository read lock is held: appends (which run under the
+	// repository write lock) cannot land while the horizon is computed,
+	// so every sequence in self is already reflected in recs above.
 	dl.seqMu.Lock()
 	folded := dl.applied
 	for dl.self[folded+1] {
 		folded++
+		delete(dl.self, folded)
+	}
+	if folded > dl.applied {
+		dl.applied = folded
+	}
+	if dl.nextSeq <= dl.applied {
+		dl.nextSeq = dl.applied + 1
 	}
 	dl.seqMu.Unlock()
 	return recs, folded, nil
@@ -676,7 +708,7 @@ func (dl *DurableLog) trim(folded uint64) {
 
 // allocWriter allocates a process-unique writer ID through a CAS
 // counter file under the log root.
-func allocWriter(fs *dfs.FS, root string) string {
+func allocWriter(fs dfs.Backend, root string) string {
 	p := root + "/writers"
 	for {
 		_, ver, _ := fs.Stat(p)
@@ -705,10 +737,14 @@ type DurabilityStats struct {
 	// Appends, Replayed, Compactions and Resyncs count log traffic:
 	// records this process wrote, foreign records it applied, folds it
 	// performed, and manifest resyncs after falling behind a fold.
+	// TornRecords counts undecodable (torn-write) log records replay
+	// skipped — each one is a record some writer's crash left
+	// unacknowledged.
 	Appends     int64
 	Replayed    int64
 	Compactions int64
 	Resyncs     int64
+	TornRecords int64
 	// LogRecords and AppliedSeq describe the shared log: live record
 	// files right now, and the highest sequence this process has
 	// applied.
@@ -732,6 +768,7 @@ func (dl *DurableLog) Stats() DurabilityStats {
 		Replayed:         dl.replayed.Load(),
 		Compactions:      dl.compactions.Load(),
 		Resyncs:          dl.resyncs.Load(),
+		TornRecords:      dl.torn.Load(),
 		LogRecords:       len(dl.fs.Datasets(dl.root + "/log")),
 		AppliedSeq:       applied,
 	}

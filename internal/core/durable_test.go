@@ -13,7 +13,7 @@ import (
 
 // durableEntry builds one insertable entry from a corpus script, with a
 // real stored output so it validates.
-func durableEntry(t *testing.T, fs *dfs.FS, src string, i int) *Entry {
+func durableEntry(t *testing.T, fs dfs.Backend, src string, i int) *Entry {
 	t.Helper()
 	sig := firstJobSig(t, src)
 	out := fmt.Sprintf("stored/d%d", i)
@@ -67,7 +67,7 @@ func probeState(t *testing.T, r *Repository) string {
 	return b.String()
 }
 
-func openDurable(t *testing.T, fs *dfs.FS, root string) (*DurableLog, *Repository) {
+func openDurable(t *testing.T, fs dfs.Backend, root string) (*DurableLog, *Repository) {
 	t.Helper()
 	dl, repo, err := OpenDurableLog(fs, DurableConfig{Root: root, CompactEvery: -1})
 	if err != nil {
@@ -82,7 +82,7 @@ func openDurable(t *testing.T, fs *dfs.FS, root string) (*DurableLog, *Repositor
 // rebuilds exactly the acknowledged state, and nominates byte-identical
 // Probe candidates, without decoding one stored plan.
 func TestDurablePrefixDurability(t *testing.T) {
-	fs := dfs.New()
+	fs := newTestFS(t)
 	_, repo := openDurable(t, fs, "sys/repo")
 
 	check := func(step string) {
@@ -147,7 +147,7 @@ func TestDurableCompactionCrashMatrix(t *testing.T) {
 	points := []string{"compact-begin", "compact-manifest", "compact-rename", "compact-trim", "compact-done", "append-done"}
 	for _, point := range points {
 		t.Run(point, func(t *testing.T) {
-			fs := dfs.New()
+			fs := newTestFS(t)
 			dl, repo := openDurable(t, fs, "sys/repo")
 			for i, src := range indexCorpus {
 				repo.Insert(durableEntry(t, fs, src, i))
@@ -208,7 +208,7 @@ func TestDurableCompactionCrashMatrix(t *testing.T) {
 // into the manifest, trims the log, and a recovery from manifest alone
 // is identical; appends after the fold land in the fresh log tail.
 func TestDurableCompactionFoldsLog(t *testing.T) {
-	fs := dfs.New()
+	fs := newTestFS(t)
 	dl, repo := openDurable(t, fs, "sys/repo")
 	for i, src := range indexCorpus {
 		repo.Insert(durableEntry(t, fs, src, i))
@@ -240,7 +240,7 @@ func TestDurableCompactionFoldsLog(t *testing.T) {
 // refresh, and a writer that fell behind a peer's compaction resyncs
 // from the manifest.
 func TestDurableTwoWritersConverge(t *testing.T) {
-	fs := dfs.New()
+	fs := newTestFS(t)
 	dlA, repoA := openDurable(t, fs, "sys/repo")
 	dlB, repoB := openDurable(t, fs, "sys/repo")
 	if dlA.Writer() == dlB.Writer() {
@@ -306,7 +306,7 @@ func TestDurableTwoWritersConverge(t *testing.T) {
 // when a containment traversal touches them — Probe alone never does —
 // and the decoded plan matches exactly like the original.
 func TestDurableLazyPlanDecode(t *testing.T) {
-	fs := dfs.New()
+	fs := newTestFS(t)
 	_, repo := openDurable(t, fs, "sys/repo")
 	for i, src := range indexCorpus {
 		repo.Insert(durableEntry(t, fs, src, i))
@@ -366,7 +366,7 @@ func TestLegacySnapshotGolden(t *testing.T) {
 	if err != nil {
 		t.Fatalf("golden fixture: %v", err)
 	}
-	fs := dfs.New()
+	fs := newTestFS(t)
 	if err := fs.WriteFile("meta/repo", data); err != nil {
 		t.Fatal(err)
 	}
@@ -435,7 +435,7 @@ store C into 'golden_probe';
 // jump past the manifest's FoldedThrough and its record must reach
 // every peer and every recovery.
 func TestDurableLaggingWriterSkipsTrimmedSlots(t *testing.T) {
-	fs := dfs.New()
+	fs := newTestFS(t)
 	dlA, repoA := openDurable(t, fs, "sys/repo")
 	_, repoB := openDurable(t, fs, "sys/repo")
 

@@ -6,6 +6,7 @@ import (
 	"crypto/sha256"
 	"encoding/gob"
 	"encoding/hex"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -27,12 +28,15 @@ import (
 // compare-and-swap, so two processes racing for one fingerprint resolve
 // to exactly one holder, and a holder whose lease expired and was taken
 // over can never release (or believe it still holds) the successor's
-// lease. Leases are not renewed: the TTL is sized to the longest
-// materialization, and expiry only matters when a holder dies.
+// lease. A live holder extends its lease through Renew (the same CAS:
+// a takeover after expiry always wins over a late renewal), so a
+// materialization longer than the TTL keeps its lease as long as the
+// process heartbeats — see KeepAlive — while a dead holder's lease
+// still expires and is taken over or reaped.
 //
 // All methods are safe for concurrent use.
 type LeaseManager struct {
-	fs    *dfs.FS
+	fs    dfs.Backend
 	root  string
 	owner string
 	ttl   time.Duration
@@ -44,6 +48,7 @@ type LeaseManager struct {
 	takeovers atomic.Int64
 	reaped    atomic.Int64
 	fenceLost atomic.Int64
+	renewals  atomic.Int64
 }
 
 // DefaultLeaseTTL is the lease lifetime when none is configured: long
@@ -57,7 +62,7 @@ const DefaultLeasePoll = 2 * time.Millisecond
 // NewLeaseManager returns a manager over the locks namespace at root.
 // owner identifies this process in lease records; ttl and poll default
 // to DefaultLeaseTTL and DefaultLeasePoll when zero.
-func NewLeaseManager(fs *dfs.FS, root, owner string, ttl, poll time.Duration) *LeaseManager {
+func NewLeaseManager(fs dfs.Backend, root, owner string, ttl, poll time.Duration) *LeaseManager {
 	if ttl <= 0 {
 		ttl = DefaultLeaseTTL
 	}
@@ -72,10 +77,14 @@ func NewLeaseManager(fs *dfs.FS, root, owner string, ttl, poll time.Duration) *L
 func (lm *LeaseManager) SetClock(now func() time.Time) { lm.now = now }
 
 // Lease is one held materialization lease. The version is the lease
-// file's DFS version at acquisition: release and still-held checks CAS
-// against it, so a takeover after expiry is always detected.
+// file's DFS version as of the last acquisition or renewal: release
+// and still-held checks CAS against it, so a takeover after expiry is
+// always detected. The mutex makes a background renewer (KeepAlive)
+// safe against a concurrent Release or StillHeld.
 type Lease struct {
+	mu      sync.Mutex
 	path    string
+	fp      string
 	fence   uint64
 	version int64
 }
@@ -139,10 +148,75 @@ func (lm *LeaseManager) TryAcquire(fp string) (*Lease, bool) {
 			if fence > 1 {
 				lm.takeovers.Add(1)
 			}
-			return &Lease{path: path, fence: fence, version: newVer}, true
+			return &Lease{path: path, fp: fp, fence: fence, version: newVer}, true
 		}
 		// Lost the CAS; re-read — the winner's lease is probably live.
 	}
+}
+
+// Renew extends a held lease's expiry by a full TTL through the same
+// version CAS as acquisition: if the lease file changed since this
+// holder last wrote it — it expired and was taken over, or was reaped —
+// the renewal loses and returns false, keeping takeover-on-death
+// semantics intact. A true return means the lease is live for another
+// TTL from now.
+func (lm *LeaseManager) Renew(l *Lease) bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := leaseRecord{
+		Fingerprint:     l.fp,
+		Owner:           lm.owner,
+		Fence:           l.fence,
+		ExpiresUnixNano: lm.now().Add(lm.ttl).UnixNano(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return false
+	}
+	newVer, ok := lm.fs.WriteFileIf(l.path, buf.Bytes(), l.version)
+	if !ok {
+		lm.fenceLost.Add(1)
+		return false
+	}
+	l.version = newVer
+	lm.renewals.Add(1)
+	return true
+}
+
+// KeepAlive renews the lease in the background every third of the TTL
+// until the returned stop function is called or a renewal loses the
+// lease. It is the holder-side heartbeat that lets a materialization
+// outlive the TTL while the process is alive; once the process dies,
+// renewals stop and expiry hands the lease over as before. Call stop
+// before Release.
+func (lm *LeaseManager) KeepAlive(l *Lease) (stop func()) {
+	if l == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	interval := lm.ttl / 3
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if !lm.Renew(l) {
+					return // fenced out; the successor owns it now
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // Release gives the lease up. The conditional delete means a lease that
@@ -151,15 +225,23 @@ func (lm *LeaseManager) Release(l *Lease) {
 	if l == nil {
 		return
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if !lm.fs.RemoveFileIf(l.path, l.version) {
 		lm.fenceLost.Add(1)
 	}
 }
 
-// StillHeld reports whether the lease file is unchanged since
-// acquisition — false means it expired and was taken over (or reaped).
+// StillHeld reports whether the lease file is unchanged since this
+// holder last wrote it — false means it expired and was taken over (or
+// reaped).
 func (lm *LeaseManager) StillHeld(l *Lease) bool {
-	return l != nil && lm.fs.Version(l.path) == l.version
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return lm.fs.Version(l.path) == l.version
 }
 
 // WaitFree blocks until the fingerprint's lease is released or expires
@@ -221,11 +303,13 @@ type LeaseStats struct {
 	// Granted counts leases this process acquired (Takeovers of them by
 	// fencing out an expired holder); Reaped counts expired leases
 	// deleted by waits and janitor sweeps; FenceLost counts releases
-	// that found the lease already taken over.
+	// and renewals that found the lease already taken over; Renewals
+	// counts successful heartbeat extensions.
 	Granted   int64
 	Takeovers int64
 	Reaped    int64
 	FenceLost int64
+	Renewals  int64
 }
 
 // Stats snapshots the counters.
@@ -235,5 +319,6 @@ func (lm *LeaseManager) Stats() LeaseStats {
 		Takeovers: lm.takeovers.Load(),
 		Reaped:    lm.reaped.Load(),
 		FenceLost: lm.fenceLost.Load(),
+		Renewals:  lm.renewals.Load(),
 	}
 }

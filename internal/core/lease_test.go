@@ -29,7 +29,7 @@ func (c *testClock) Advance(d time.Duration) {
 	c.now = c.now.Add(d)
 }
 
-func leasePair(fs *dfs.FS, clock *testClock, owner string) *LeaseManager {
+func leasePair(fs dfs.Backend, clock *testClock, owner string) *LeaseManager {
 	lm := NewLeaseManager(fs, "sys/locks", owner, time.Minute, time.Millisecond)
 	lm.SetClock(clock.Now)
 	return lm
@@ -38,7 +38,7 @@ func leasePair(fs *dfs.FS, clock *testClock, owner string) *LeaseManager {
 // TestLeaseMutualExclusion: one fingerprint, one holder; a second
 // manager acquires only after release.
 func TestLeaseMutualExclusion(t *testing.T) {
-	fs := dfs.New()
+	fs := newTestFS(t)
 	clock := newTestClock()
 	a, b := leasePair(fs, clock, "w1"), leasePair(fs, clock, "w2")
 
@@ -69,7 +69,7 @@ func TestLeaseMutualExclusion(t *testing.T) {
 // with a bumped fence; the original holder detects the loss and cannot
 // release the successor's lease.
 func TestLeaseExpiryTakeoverAndFencing(t *testing.T) {
-	fs := dfs.New()
+	fs := newTestFS(t)
 	clock := newTestClock()
 	a, b := leasePair(fs, clock, "w1"), leasePair(fs, clock, "w2")
 
@@ -101,7 +101,7 @@ func TestLeaseExpiryTakeoverAndFencing(t *testing.T) {
 // TestLeaseWaitFree: a waiter unblocks on release, and reaps an expired
 // holder instead of waiting out the TTL wall-clock.
 func TestLeaseWaitFree(t *testing.T) {
-	fs := dfs.New()
+	fs := newTestFS(t)
 	clock := newTestClock()
 	a, b := leasePair(fs, clock, "w1"), leasePair(fs, clock, "w2")
 
@@ -141,7 +141,7 @@ func TestLeaseWaitFree(t *testing.T) {
 // TestLeaseReapExpired: the janitor-facing sweep deletes only expired
 // records.
 func TestLeaseReapExpired(t *testing.T) {
-	fs := dfs.New()
+	fs := newTestFS(t)
 	clock := newTestClock()
 	a := leasePair(fs, clock, "w1")
 

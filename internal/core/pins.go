@@ -1,0 +1,187 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dfs"
+)
+
+// PinSet broadcasts the repository's in-process pins as TTL'd records
+// in a shared DFS namespace ("<ns-root>/pins/"), the lease-style
+// companion to the pin machinery: where Repository.pins protects an
+// entry from this process's own vacuum and eviction, a pin record
+// protects it from a peer's. Without it, two processes sharing one
+// durable store could race — A's rewrite matches an entry and pins it
+// locally, B's budget sweep (which cannot see A's pin table) evicts
+// the entry and deletes its stored output, and A's engine run reads a
+// dangling path.
+//
+// One record per (entry, owner) pair: the owner writes it on the
+// entry's first local pin, refreshes the expiry on janitor sweeps
+// while the pin is held, and deletes it on the last unpin. A record
+// carries a TTL so a crashed owner's pins expire instead of shielding
+// entries forever; any process may reap expired records.
+//
+// All methods are safe for concurrent use.
+type PinSet struct {
+	fs    dfs.Backend
+	root  string
+	owner string
+	ttl   time.Duration
+	now   func() time.Time
+
+	mu   sync.Mutex
+	held map[string]bool // entry IDs this process has broadcast
+
+	broadcasts int64
+	reaped     int64
+}
+
+// NewPinSet returns a pin broadcaster over the pins namespace at root.
+// owner identifies this process in record names; ttl defaults to
+// DefaultLeaseTTL when zero (pins, like leases, should outlive any
+// single materialization only through renewal).
+func NewPinSet(fs dfs.Backend, root, owner string, ttl time.Duration) *PinSet {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	return &PinSet{
+		fs:    fs,
+		root:  cleanPath(root),
+		owner: owner,
+		ttl:   ttl,
+		now:   time.Now,
+		held:  map[string]bool{},
+	}
+}
+
+// SetClock injects the wall clock (tests drive expiry without
+// sleeping). Call before any pin traffic.
+func (ps *PinSet) SetClock(now func() time.Time) { ps.now = now }
+
+// pinRecord is the serialized pin file.
+type pinRecord struct {
+	EntryID         string
+	Owner           string
+	ExpiresUnixNano int64
+}
+
+// path maps an (entry, owner) pair to its record file. Entry IDs are
+// path-safe by construction ("w2e17").
+func (ps *PinSet) path(id, owner string) string {
+	return ps.root + "/" + id + "." + owner
+}
+
+// notePin broadcasts the first local pin of an entry; the repository's
+// pin hook calls it on the 0→1 transition.
+func (ps *PinSet) notePin(id string) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.held[id] {
+		return
+	}
+	if ps.writeRecord(id) {
+		ps.held[id] = true
+		ps.broadcasts++
+	}
+}
+
+// noteUnpin withdraws the broadcast when the last local pin releases.
+func (ps *PinSet) noteUnpin(id string) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if !ps.held[id] {
+		return
+	}
+	delete(ps.held, id)
+	_ = ps.fs.Delete(ps.path(id, ps.owner))
+}
+
+// writeRecord writes this owner's record for id with a fresh expiry.
+// Owners never contend on each other's records (the owner is in the
+// name), so a plain write is enough.
+func (ps *PinSet) writeRecord(id string) bool {
+	rec := pinRecord{EntryID: id, Owner: ps.owner, ExpiresUnixNano: ps.now().Add(ps.ttl).UnixNano()}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return false
+	}
+	return ps.fs.WriteFile(ps.path(id, ps.owner), buf.Bytes()) == nil
+}
+
+// PeerPinned reports whether a live pin record from another owner
+// exists for the entry: the eviction and vacuum delete paths consult it
+// before removing a stored output a peer's in-flight rewrite may read.
+func (ps *PinSet) PeerPinned(id string) bool {
+	prefix := ps.root + "/" + id + "."
+	for _, ds := range ps.fs.Datasets(ps.root) {
+		if !strings.HasPrefix(ds, prefix) {
+			continue
+		}
+		if ds[len(prefix):] == ps.owner {
+			continue // our own broadcast; local pins already handled it
+		}
+		data, err := ps.fs.ReadFile(ds)
+		if err != nil {
+			continue
+		}
+		var rec pinRecord
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+			continue
+		}
+		if ps.now().UnixNano() < rec.ExpiresUnixNano {
+			return true
+		}
+	}
+	return false
+}
+
+// RenewHeld refreshes the expiry of every record this process still
+// holds; the janitor calls it each sweep, so pins survive as long as
+// the pinning process does — and no longer.
+func (ps *PinSet) RenewHeld() {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for id := range ps.held {
+		ps.writeRecord(id)
+	}
+}
+
+// ReapExpired deletes expired (or undecodable) pin records in the
+// namespace, returning how many went — a crashed peer's pins unblock
+// eviction within a TTL.
+func (ps *PinSet) ReapExpired() int {
+	n := 0
+	for _, ds := range ps.fs.Datasets(ps.root) {
+		if ds == ps.root || !strings.HasPrefix(ds, ps.root+"/") {
+			continue
+		}
+		data, err := ps.fs.ReadFile(ds)
+		if err != nil {
+			continue
+		}
+		var rec pinRecord
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err == nil && ps.now().UnixNano() < rec.ExpiresUnixNano {
+			continue
+		}
+		if ps.fs.Delete(ds) == nil {
+			n++
+			ps.mu.Lock()
+			ps.reaped++
+			ps.mu.Unlock()
+		}
+	}
+	return n
+}
+
+// Stats reports records broadcast by this process and expired records
+// it reaped.
+func (ps *PinSet) Stats() (broadcasts, reaped int64) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.broadcasts, ps.reaped
+}

@@ -159,7 +159,7 @@ type sizedVersion struct {
 // dataset or file, the way the engine materializes them) are cached;
 // the rare prefix-of-several-datasets path is re-sized every call,
 // since its nested datasets version independently.
-func (e *Entry) storedBytes(fs *dfs.FS) int64 {
+func (e *Entry) storedBytes(fs dfs.Backend) int64 {
 	c := e.size
 	if c != nil {
 		if s := c.v.Load(); s != nil && s.version == fs.Version(e.OutputPath) {
@@ -232,6 +232,11 @@ type Repository struct {
 	// client's eviction pass cannot delete an output between this
 	// client's rewrite and its engine run.
 	pins map[string]int
+	// pinHook, when non-nil, mirrors pin transitions to shared storage
+	// (PinSet): 0→1 broadcasts the pin to peer processes, 1→0 withdraws
+	// it. Called under pinMu, so the broadcast is placed before the
+	// match that pinned returns to its caller.
+	pinHook pinBroadcast
 
 	// Matcher counters (MatcherStats), all monotonic. The traversal
 	// counters are fed by Rewriters, which own the per-submission
@@ -553,7 +558,7 @@ func (r *Repository) Remove(id string) *Entry {
 // (eviction Rule 4's condition, checked at match time). It reads only
 // the entry's immutable fields and the FS, so it takes no repository
 // lock and is safe to call from Scan callbacks.
-func (r *Repository) Valid(e *Entry, fs *dfs.FS) bool {
+func (r *Repository) Valid(e *Entry, fs dfs.Backend) bool {
 	if !fs.Exists(e.OutputPath) {
 		return false
 	}
@@ -572,7 +577,7 @@ func (r *Repository) Valid(e *Entry, fs *dfs.FS) bool {
 // not reused within the window of simulated time (Rule 3). It returns
 // the removed entries; the caller decides whether to also delete their
 // stored outputs from the DFS.
-func (r *Repository) Vacuum(fs *dfs.FS, now time.Duration, window time.Duration) []*Entry {
+func (r *Repository) Vacuum(fs dfs.Backend, now time.Duration, window time.Duration) []*Entry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var removed []*Entry
@@ -627,6 +632,9 @@ func (r *Repository) Pin(id string) {
 	r.pinMu.Lock()
 	defer r.pinMu.Unlock()
 	r.pins[id]++
+	if r.pins[id] == 1 && r.pinHook != nil {
+		r.pinHook.notePin(id)
+	}
 }
 
 // Unpin releases one Pin.
@@ -635,9 +643,27 @@ func (r *Repository) Unpin(id string) {
 	defer r.pinMu.Unlock()
 	if r.pins[id] <= 1 {
 		delete(r.pins, id)
+		if r.pinHook != nil {
+			r.pinHook.noteUnpin(id)
+		}
 	} else {
 		r.pins[id]--
 	}
+}
+
+// pinBroadcast mirrors local pin transitions to shared storage so
+// peer processes see them; see PinSet.
+type pinBroadcast interface {
+	notePin(id string)
+	noteUnpin(id string)
+}
+
+// SetPinBroadcast attaches the cross-process pin mirror. Call once at
+// construction, before queries run.
+func (r *Repository) SetPinBroadcast(pb pinBroadcast) {
+	r.pinMu.Lock()
+	defer r.pinMu.Unlock()
+	r.pinHook = pb
 }
 
 // pinned reports whether the entry has in-flight references.
@@ -660,7 +686,7 @@ type gobRepository struct {
 // written to a temporary sibling and renamed into place, so a crash
 // mid-save can never leave a torn repository file: path holds either
 // the previous complete snapshot or the new one.
-func (r *Repository) Save(fs *dfs.FS, path string) error {
+func (r *Repository) Save(fs dfs.Backend, path string) error {
 	r.mu.RLock()
 	entries := make([]*Entry, len(r.entries))
 	for i, e := range r.entries {
@@ -694,7 +720,7 @@ func (r *Repository) Save(fs *dfs.FS, path string) error {
 
 // LoadRepository restores a repository saved with Save, rebuilding the
 // signature index and installing fresh size caches.
-func LoadRepository(fs *dfs.FS, path string) (*Repository, error) {
+func LoadRepository(fs dfs.Backend, path string) (*Repository, error) {
 	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, err

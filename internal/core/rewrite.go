@@ -32,7 +32,7 @@ import (
 // producers have completed).
 type Rewriter struct {
 	Repo *Repository
-	FS   *dfs.FS
+	FS   dfs.Backend
 
 	// LinearScan matches via the pre-index sequential repository scan
 	// instead of the signature index. The probe filters only by

@@ -38,7 +38,7 @@ import (
 // All methods are safe for concurrent use.
 type StorageManager struct {
 	repo     *Repository
-	fs       *dfs.FS
+	fs       dfs.Backend
 	maxBytes int64
 	policy   EvictionPolicy
 
@@ -63,6 +63,12 @@ type StorageManager struct {
 	durable *DurableLog
 	leases  *LeaseManager
 
+	// pins mirrors the repository's pin table into shared storage and
+	// answers whether a peer process holds a live pin on an entry; the
+	// eviction and vacuum delete paths spare such entries' outputs.
+	// Nil for a process-local store.
+	pins *PinSet
+
 	mu     sync.Mutex
 	claims map[string]*Claim
 
@@ -84,7 +90,7 @@ type StorageManager struct {
 // NewStorageManager returns a manager over the repository and file
 // system. maxBytes <= 0 disables budget enforcement; a nil policy
 // defaults to CostBenefitPolicy when a budget is set.
-func NewStorageManager(repo *Repository, fs *dfs.FS, maxBytes int64, policy EvictionPolicy) *StorageManager {
+func NewStorageManager(repo *Repository, fs dfs.Backend, maxBytes int64, policy EvictionPolicy) *StorageManager {
 	if policy == nil {
 		policy = CostBenefitPolicy{}
 	}
@@ -154,6 +160,19 @@ func (m *StorageManager) SetDurable(dl *DurableLog, lm *LeaseManager) {
 	m.leases = lm
 }
 
+// SetPins attaches the cross-process pin mirror (and wires it into the
+// repository's pin transitions). Call once at construction.
+func (m *StorageManager) SetPins(ps *PinSet) {
+	m.pins = ps
+	m.repo.SetPinBroadcast(ps)
+}
+
+// peerPinned reports whether another process holds a live pin record
+// on the entry.
+func (m *StorageManager) peerPinned(id string) bool {
+	return m.pins != nil && m.pins.PeerPinned(id)
+}
+
 // RefreshShared folds other processes' committed entries into the local
 // repository (a no-op for process-local stores); the driver calls it
 // when an execution starts, so a cold process reuses what its peers
@@ -183,8 +202,11 @@ type Claim struct {
 	// only after <-done.
 	entry *Entry
 	// lease is the cross-process lease backing a won claim when lease
-	// mode is on; released when the claim resolves.
-	lease *Lease
+	// mode is on; released when the claim resolves. stopRenew halts the
+	// holder-side heartbeat that keeps the lease alive while the
+	// materialization outlives the TTL.
+	lease     *Lease
+	stopRenew func()
 }
 
 // Fingerprint returns the claimed plan fingerprint.
@@ -251,6 +273,10 @@ func (m *StorageManager) TryClaim(fp, owner string) (*Claim, bool) {
 			}
 		}
 		c.lease = lease
+		// Heartbeat the lease while the materialization runs: a live
+		// holder slower than the TTL keeps its lease; a dead one stops
+		// renewing and is taken over as before.
+		c.stopRenew = m.leases.KeepAlive(lease)
 	}
 	m.claimsGranted.Add(1)
 	return c, true
@@ -303,6 +329,10 @@ func (m *StorageManager) release(c *Claim) {
 		delete(m.claims, c.fp)
 	}
 	m.mu.Unlock()
+	if c.stopRenew != nil {
+		c.stopRenew()
+		c.stopRenew = nil
+	}
 	if c.lease != nil && m.leases != nil {
 		m.leases.Release(c.lease)
 		c.lease = nil
@@ -498,10 +528,13 @@ func (m *StorageManager) EnforceBudget(now time.Duration) []*Entry {
 		// Pinned entries count against the budget but cannot be evicted;
 		// offering them to the policy would let a pin stall convergence
 		// (the policy would keep nominating victims the repository
-		// refuses to drop).
+		// refuses to drop). An entry a peer process has pinned is spared
+		// the same way: its in-flight rewrite reads the stored output,
+		// and this process's budget pass must not delete it out from
+		// under them.
 		candidates := usage[:0]
 		for _, u := range usage {
-			if !m.repo.pinned(u.Entry.ID) {
+			if !m.repo.pinned(u.Entry.ID) && !m.peerPinned(u.Entry.ID) {
 				candidates = append(candidates, u)
 			}
 		}
@@ -520,7 +553,11 @@ func (m *StorageManager) EnforceBudget(now time.Duration) []*Entry {
 }
 
 // deleteOwnedOutputs removes the DFS outputs of evicted sub-job entries
-// whose paths no surviving entry references.
+// whose paths no surviving entry references. An entry still carrying a
+// live peer pin record keeps its output: the entry itself may already
+// be gone from this repository (vacuumed as invalid, or removed by a
+// replayed record), but a peer's in-flight rewrite is reading the
+// path, and its janitor will reclaim the bytes once the pin releases.
 func (m *StorageManager) deleteOwnedOutputs(removed []*Entry) {
 	stillRef := map[string]bool{}
 	m.repo.Scan(func(e *Entry) bool {
@@ -528,7 +565,7 @@ func (m *StorageManager) deleteOwnedOutputs(removed []*Entry) {
 		return true
 	})
 	for _, e := range removed {
-		if !e.WholeJob && !stillRef[e.OutputPath] {
+		if !e.WholeJob && !stillRef[e.OutputPath] && !m.peerPinned(e.ID) {
 			_ = m.fs.Delete(e.OutputPath)
 		}
 	}
@@ -565,6 +602,12 @@ func (m *StorageManager) Sweep(now, window time.Duration) SweepResult {
 	res.EntriesEvicted = len(m.EnforceBudget(now))
 	if m.leases != nil {
 		res.LeasesReaped = m.leases.ReapExpired()
+	}
+	if m.pins != nil {
+		// Heartbeat our own pin records and clear crashed peers' — the
+		// same liveness discipline leases get, applied to pins.
+		m.pins.RenewHeld()
+		m.pins.ReapExpired()
 	}
 	m.MaintainDurable()
 	return res

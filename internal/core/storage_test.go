@@ -11,7 +11,7 @@ import (
 
 // storedEntry inserts an entry whose output physically exists on fs
 // with size bytes, so budget accounting sees real data.
-func storedEntry(t *testing.T, repo *Repository, fs *dfs.FS, id, loadPath string, size int, stats EntryStats) *Entry {
+func storedEntry(t *testing.T, repo *Repository, fs dfs.Backend, id, loadPath string, size int, stats EntryStats) *Entry {
 	t.Helper()
 	e := entryFor(t, fmt.Sprintf(`
 A = load '%s' as (a, b);
@@ -26,7 +26,7 @@ store B into 'o';
 }
 
 func TestClaimProtocolBasics(t *testing.T) {
-	m := NewStorageManager(NewRepository(), dfs.New(), 0, nil)
+	m := NewStorageManager(NewRepository(), newTestFS(t), 0, nil)
 
 	c1, won := m.TryClaim("fp1", "q1")
 	if !won {
@@ -83,7 +83,7 @@ func TestClaimProtocolBasics(t *testing.T) {
 }
 
 func TestClaimWaitRespectsContext(t *testing.T) {
-	m := NewStorageManager(NewRepository(), dfs.New(), 0, nil)
+	m := NewStorageManager(NewRepository(), newTestFS(t), 0, nil)
 	c, _ := m.TryClaim("fp", "winner")
 	other, won := m.TryClaim("fp", "loser")
 	if won {
@@ -159,7 +159,7 @@ func TestEnforceBudgetConvergesAndSparesPins(t *testing.T) {
 		CostBenefitPolicy{},
 	} {
 		t.Run(policy.Name(), func(t *testing.T) {
-			fs := dfs.New()
+			fs := newTestFS(t)
 			repo := NewRepository()
 			m := NewStorageManager(repo, fs, 2500, policy)
 			var pinnedEntry *Entry
@@ -196,7 +196,7 @@ func TestEnforceBudgetConvergesAndSparesPins(t *testing.T) {
 }
 
 func TestEvictUnpinnedSkipsPinned(t *testing.T) {
-	fs := dfs.New()
+	fs := newTestFS(t)
 	repo := NewRepository()
 	a := storedEntry(t, repo, fs, "a", "in1", 10, EntryStats{})
 	b := storedEntry(t, repo, fs, "b", "in2", 10, EntryStats{})
@@ -212,7 +212,7 @@ func TestEvictUnpinnedSkipsPinned(t *testing.T) {
 }
 
 func TestVacuumOrphans(t *testing.T) {
-	fs := dfs.New()
+	fs := newTestFS(t)
 	repo := NewRepository()
 	m := NewStorageManager(repo, fs, 0, nil)
 
@@ -265,7 +265,7 @@ store B into 'o';
 // memoized total without re-sizing (stable snapshot pointer), and any
 // version bump of the output dataset — write, delete — invalidates it.
 func TestStoredBytesCache(t *testing.T) {
-	fs := dfs.New()
+	fs := newTestFS(t)
 	repo := NewRepository()
 	e := storedEntry(t, repo, fs, "c1", "in1", 100, EntryStats{})
 
@@ -313,7 +313,7 @@ func TestStoredBytesCache(t *testing.T) {
 // snapshots are reused on the next sweep, and a fingerprint
 // replacement never inherits the old entry's memoized size.
 func TestStoredBytesCacheSurvivesBudgetSweeps(t *testing.T) {
-	fs := dfs.New()
+	fs := newTestFS(t)
 	repo := NewRepository()
 	m := NewStorageManager(repo, fs, 10_000, LRUPolicy{})
 	for i := 0; i < 4; i++ {
@@ -372,7 +372,7 @@ func TestNamespacePathNormalizes(t *testing.T) {
 // "<root>/restore" and "<root>/tmp" query namespaces — user datasets
 // that happen to live under top-level tmp/ or restore/ are untouched.
 func TestNamespaceRootConfinesOrphanSweep(t *testing.T) {
-	fs := dfs.New()
+	fs := newTestFS(t)
 	m := NewStorageManager(NewRepository(), fs, 0, nil)
 	m.SetNamespaceRoot("sys")
 
@@ -409,7 +409,7 @@ func TestNamespaceRootConfinesOrphanSweep(t *testing.T) {
 // BenchmarkEnforceBudget measures one over-budget sweep across a
 // populated repository (the storage half of the CI benchmark job).
 func BenchmarkEnforceBudget(b *testing.B) {
-	fs := dfs.New()
+	fs := newTestFS(b)
 	repo := NewRepository()
 	for i := 0; i < 200; i++ {
 		sig := benchSig(b, fmt.Sprintf(`
@@ -436,7 +436,7 @@ store B into 'o';
 // BenchmarkClaims measures the uncontended claim round-trip every
 // storing job pays.
 func BenchmarkClaims(b *testing.B) {
-	m := NewStorageManager(NewRepository(), dfs.New(), 0, nil)
+	m := NewStorageManager(NewRepository(), newTestFS(b), 0, nil)
 	entry := &Entry{ID: "e"}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,83 @@
+package dfs
+
+import "io"
+
+// Backend is the storage substrate contract the rest of the system is
+// written against: the MapReduce engine, the repository, the durable
+// event log, and the lease protocol all consume this interface, so the
+// substrate can be the in-memory FS (tests, experiments, simulation) or
+// the on-disk Disk backend (real durability) without any caller
+// changing.
+//
+// Semantics every implementation must provide:
+//
+//   - Dataset versions. Every path belongs to a dataset (datasetOf: the
+//     directory holding its part files, or the path itself). Mutations
+//     bump the dataset's version; deletes bump it too, so "absent" does
+//     not imply version zero — a trimmed log slot stays distinguishable
+//     from a never-written one. Version zero means never written.
+//
+//   - Version CAS. WriteFileIf/RemoveFileIf apply only when the
+//     dataset's version still equals the caller's last observation, as
+//     one atomic read-check-write even across processes sharing the
+//     backend. They are the primitives the durable log's dense sequence
+//     allocation and the lease protocol's fencing are built on.
+//
+//   - Crash injection. SetWriteFault intercepts every file commit
+//     (Create's Close, WriteFile, and the WriteFileIf CAS path) so the
+//     recovery suite can tear or drop writes on any backend.
+//
+// All methods are safe for concurrent use.
+type Backend interface {
+	// Create opens a new file for writing; Close commits it atomically
+	// and bumps its dataset version.
+	Create(path string) io.WriteCloser
+	// WriteFile writes data to path in one call.
+	WriteFile(path string, data []byte) error
+	// Open returns a reader over the file at path.
+	Open(path string) (io.Reader, error)
+	// ReadFile returns the contents of the file at path.
+	ReadFile(path string) ([]byte, error)
+	// Exists reports whether path names a file or a directory prefix.
+	Exists(path string) bool
+	// List returns the file paths under path, sorted.
+	List(path string) []string
+	// Size returns the total bytes stored under path.
+	Size(path string) int64
+	// Stat returns the bytes under path, the version of path's dataset,
+	// and whether path names a single dataset or file (a leaf).
+	Stat(path string) (bytes int64, version int64, leaf bool)
+	// Datasets returns the dataset paths holding data under prefix.
+	Datasets(prefix string) []string
+	// Delete removes the file or directory tree at path, bumping the
+	// affected dataset version.
+	Delete(path string) error
+	// Rename atomically moves the file or dataset tree at oldPath to
+	// newPath, replacing the destination and bumping every touched
+	// dataset's version; it returns the destination dataset's new
+	// version.
+	Rename(oldPath, newPath string) (int64, error)
+	// WriteFileIf writes data to path only if path's dataset version
+	// still equals expect, returning the dataset's (possibly new)
+	// version and whether the write was applied.
+	WriteFileIf(path string, data []byte, expect int64) (int64, bool)
+	// RemoveFileIf deletes the file at path only if its dataset version
+	// still equals expect, reporting whether the delete was applied.
+	RemoveFileIf(path string, expect int64) bool
+	// Version returns the modification version of the dataset
+	// containing path; zero means never written.
+	Version(path string) int64
+	// BytesRead and BytesWritten are the cumulative traffic meters;
+	// TotalBytes is the bytes currently stored.
+	BytesRead() int64
+	BytesWritten() int64
+	TotalBytes() int64
+	// SetWriteFault installs (or removes, with nil) the crash-injection
+	// commit interceptor. Test-only.
+	SetWriteFault(fn func(path string, data []byte) ([]byte, error))
+}
+
+var (
+	_ Backend = (*FS)(nil)
+	_ Backend = (*Disk)(nil)
+)

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // FS is an in-memory distributed file system. All methods are safe for
@@ -36,13 +37,16 @@ type FS struct {
 	datasets map[string]*dsInfo
 	nextVer  int64
 
-	bytesRead    int64
-	bytesWritten int64
+	// The byte meters are atomics, not mu-guarded fields, so the read
+	// path (Open/ReadFile) can meter under the shared read lock instead
+	// of serializing every concurrent reader against writers.
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
 
 	// writeFault, when non-nil, intercepts every file commit (the Close
-	// of a Create, and so WriteFile): it may truncate the committed
-	// bytes and/or return an error, simulating a crash that tears a
-	// write mid-flight. Test-only; see SetWriteFault.
+	// of a Create, WriteFile, and the WriteFileIf CAS path): it may
+	// truncate the committed bytes and/or return an error, simulating a
+	// crash that tears a write mid-flight. Test-only; see SetWriteFault.
 	writeFault func(path string, data []byte) ([]byte, error)
 }
 
@@ -115,7 +119,7 @@ func (w *fileWriter) Close() error {
 		w.fs.accountLocked(w.path, -int64(len(old.data)), -1)
 	}
 	w.fs.files[w.path] = &file{data: data}
-	w.fs.bytesWritten += int64(len(data))
+	w.fs.bytesWritten.Add(int64(len(data)))
 	w.fs.accountLocked(w.path, int64(len(data)), 1)
 	w.fs.bumpLocked(datasetOf(w.path))
 	return faultErr
@@ -164,27 +168,29 @@ func (fs *FS) WriteFile(path string, data []byte) error {
 	return w.Close()
 }
 
-// Open returns a reader over the file at path.
+// Open returns a reader over the file at path. Reads take the shared
+// lock only: file data is immutable once committed (commits replace the
+// *file value), and the byte meter is atomic.
 func (fs *FS) Open(path string) (io.Reader, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
 	f, ok := fs.files[clean(path)]
+	fs.mu.RUnlock()
 	if !ok {
 		return nil, &PathError{Op: "open", Path: path, Err: ErrNotExist}
 	}
-	fs.bytesRead += int64(len(f.data))
+	fs.bytesRead.Add(int64(len(f.data)))
 	return bytes.NewReader(f.data), nil
 }
 
 // ReadFile returns the contents of the file at path.
 func (fs *FS) ReadFile(path string) ([]byte, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
 	f, ok := fs.files[clean(path)]
+	fs.mu.RUnlock()
 	if !ok {
 		return nil, &PathError{Op: "read", Path: path, Err: ErrNotExist}
 	}
-	fs.bytesRead += int64(len(f.data))
+	fs.bytesRead.Add(int64(len(f.data)))
 	return append([]byte(nil), f.data...), nil
 }
 
@@ -340,15 +346,22 @@ func (fs *FS) Delete(path string) error {
 // never a mixture. This is the commit step of per-query output staging:
 // a query writes its STORE output under a private temp namespace and
 // renames it into place, so concurrent writers of one user path cannot
-// interleave part files. Both dataset versions are bumped; the returned
-// version is the destination dataset's new one, captured inside the
-// same critical section so the caller can bind metadata to exactly this
-// commit even when another writer renames over the path immediately
-// after.
+// interleave part files. Every dataset the rename touches has its
+// version bumped inside the critical section: the source and
+// destination roots, every nested dataset moved out of the source tree,
+// the destination dataset each of those lands in, and every destination
+// dataset clobbered by the replacement — so Stat/Version/Valid see
+// moved and overwritten outputs as modified, not stale or brand-new at
+// version zero. The returned version is the destination dataset's new
+// one, captured inside the same critical section so the caller can bind
+// metadata to exactly this commit even when another writer renames over
+// the path immediately after.
 func (fs *FS) Rename(oldPath, newPath string) (int64, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	op, np := clean(oldPath), clean(newPath)
+	// touched collects every dataset whose contents this rename changes.
+	touched := map[string]bool{datasetOf(op): true, datasetOf(np): true}
 	moved := map[string][]byte{}
 	if f, ok := fs.files[op]; ok {
 		moved[np] = f.data
@@ -358,7 +371,10 @@ func (fs *FS) Rename(oldPath, newPath string) (int64, error) {
 	prefix := op + "/"
 	for name, f := range fs.files {
 		if strings.HasPrefix(name, prefix) {
-			moved[np+"/"+name[len(prefix):]] = f.data
+			dst := np + "/" + name[len(prefix):]
+			moved[dst] = f.data
+			touched[datasetOf(name)] = true
+			touched[datasetOf(dst)] = true
 			fs.accountLocked(name, -int64(len(f.data)), -1)
 			delete(fs.files, name)
 		}
@@ -373,6 +389,7 @@ func (fs *FS) Rename(oldPath, newPath string) (int64, error) {
 	nprefix := np + "/"
 	for name, f := range fs.files {
 		if strings.HasPrefix(name, nprefix) {
+			touched[datasetOf(name)] = true
 			fs.accountLocked(name, -int64(len(f.data)), -1)
 			delete(fs.files, name)
 		}
@@ -381,8 +398,9 @@ func (fs *FS) Rename(oldPath, newPath string) (int64, error) {
 		fs.files[name] = &file{data: data}
 		fs.accountLocked(name, int64(len(data)), 1)
 	}
-	fs.bumpLocked(datasetOf(op))
-	fs.bumpLocked(datasetOf(np))
+	for ds := range touched {
+		fs.bumpLocked(ds)
+	}
 	return fs.version[datasetOf(np)], nil
 }
 
@@ -395,6 +413,13 @@ func (fs *FS) Rename(oldPath, newPath string) (int64, error) {
 // the cross-process lease records are built on. It returns the
 // dataset's new version and whether the write was applied; on a lost
 // race nothing is written.
+//
+// A write fault (SetWriteFault) intercepts the CAS commit exactly like
+// any other commit: a dropped write leaves the slot untouched (version
+// unchanged), a torn write commits the prefix and bumps the version but
+// reports ok=false — the caller's bytes were not acknowledged, yet a
+// later reader can observe the garbage, which is what a real mid-write
+// crash leaves behind.
 func (fs *FS) WriteFileIf(path string, data []byte, expect int64) (int64, bool) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -403,14 +428,24 @@ func (fs *FS) WriteFileIf(path string, data []byte, expect int64) (int64, bool) 
 	if fs.version[ds] != expect {
 		return fs.version[ds], false
 	}
+	torn := false
+	if fs.writeFault != nil {
+		faulted, faultErr := fs.writeFault(p, append([]byte(nil), data...))
+		if faultErr != nil {
+			if faulted == nil {
+				return fs.version[ds], false // dropped: nothing hit the disk
+			}
+			data, torn = faulted, true
+		}
+	}
 	if old, ok := fs.files[p]; ok {
 		fs.accountLocked(p, -int64(len(old.data)), -1)
 	}
 	fs.files[p] = &file{data: append([]byte(nil), data...)}
-	fs.bytesWritten += int64(len(data))
+	fs.bytesWritten.Add(int64(len(data)))
 	fs.accountLocked(p, int64(len(data)), 1)
 	fs.bumpLocked(ds)
-	return fs.version[ds], true
+	return fs.version[ds], !torn
 }
 
 // RemoveFileIf deletes the file at path only if its dataset version
@@ -445,18 +480,10 @@ func (fs *FS) Version(path string) int64 {
 }
 
 // BytesRead returns the cumulative bytes read through the FS.
-func (fs *FS) BytesRead() int64 {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return fs.bytesRead
-}
+func (fs *FS) BytesRead() int64 { return fs.bytesRead.Load() }
 
 // BytesWritten returns the cumulative bytes written through the FS.
-func (fs *FS) BytesWritten() int64 {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return fs.bytesWritten
-}
+func (fs *FS) BytesWritten() int64 { return fs.bytesWritten.Load() }
 
 // TotalBytes returns the total bytes currently stored.
 func (fs *FS) TotalBytes() int64 {

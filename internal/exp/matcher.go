@@ -88,7 +88,7 @@ func FigureM() (*Report, error) {
 
 // buildMatcherRepo registers n distinct filter-prefix entries whose
 // outputs exist in the FS, so every entry is valid at match time.
-func buildMatcherRepo(fs *dfs.FS, n int) (*core.Repository, error) {
+func buildMatcherRepo(fs dfs.Backend, n int) (*core.Repository, error) {
 	repo := core.NewRepository()
 	for i := 0; i < n; i++ {
 		src := fmt.Sprintf(`
@@ -142,7 +142,7 @@ store R into 'out/p%d';
 // job plus the rewrite events of one replay (for the scan-vs-index
 // equality check). Each replay uses a fresh rewriter — fresh negative
 // memo — and fresh job clones, since RewriteJob rewrites in place.
-func measureMatch(repo *core.Repository, fs *dfs.FS, jobs []*physical.Job, linear bool) (time.Duration, []string, error) {
+func measureMatch(repo *core.Repository, fs dfs.Backend, jobs []*physical.Job, linear bool) (time.Duration, []string, error) {
 	var events []string
 	start := time.Now()
 	for rep := 0; rep < matcherReps; rep++ {

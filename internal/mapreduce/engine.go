@@ -61,13 +61,13 @@ func DefaultConfig() Config {
 // each call keeps its state on its own stack, and real task goroutines
 // across all in-flight jobs share the engine-wide Parallelism slots.
 type Engine struct {
-	fs  *dfs.FS
+	fs  dfs.Backend
 	cfg Config
 	sem chan struct{} // engine-wide task slots
 }
 
 // New returns an engine over fs.
-func New(fs *dfs.FS, cfg Config) *Engine {
+func New(fs dfs.Backend, cfg Config) *Engine {
 	if cfg.SimScale <= 0 {
 		cfg.SimScale = 1
 	}
@@ -87,7 +87,7 @@ func New(fs *dfs.FS, cfg Config) *Engine {
 }
 
 // FS returns the engine's file system.
-func (e *Engine) FS() *dfs.FS { return e.fs }
+func (e *Engine) FS() dfs.Backend { return e.fs }
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }

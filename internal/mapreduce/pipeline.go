@@ -196,7 +196,7 @@ func (x *exec) joinFlatten(op *physical.Op, t tuple.Tuple) error {
 // close flushes every Store writer to the DFS (one part file per task
 // per Store, created even when empty, as Hadoop does) and accumulates
 // output statistics scaled to simulated bytes.
-func (x *exec) close(fs *dfs.FS, simScale float64, outStats map[string]OutputStat) error {
+func (x *exec) close(fs dfs.Backend, simScale float64, outStats map[string]OutputStat) error {
 	// Count every Store op in this segment (reachable ones), not just
 	// those that received rows: empty part files still get created and
 	// still pay the setup cost.

@@ -126,7 +126,7 @@ func fillerString(r *rand.Rand, n int) string {
 // Generate writes a full PigMix-shaped instance into fs and returns the
 // actual byte size of the page_views table, from which the caller
 // derives the engine's SimScale.
-func Generate(fs *dfs.FS, sc Scale, seed int64) (int64, error) {
+func Generate(fs dfs.Backend, sc Scale, seed int64) (int64, error) {
 	r := rand.New(rand.NewSource(seed))
 	if err := generatePageViews(fs, r, sc); err != nil {
 		return 0, err
@@ -148,7 +148,7 @@ func Generate(fs *dfs.FS, sc Scale, seed int64) (int64, error) {
 
 // SimScaleFor returns the SimScale factor that makes the generated
 // page_views table represent sc.TargetSimBytes.
-func SimScaleFor(fs *dfs.FS, sc Scale) float64 {
+func SimScaleFor(fs dfs.Backend, sc Scale) float64 {
 	actual := fs.Size(PathPageViews)
 	if actual <= 0 {
 		return 1
@@ -165,7 +165,7 @@ func RecordScaleFor(sc Scale) float64 {
 	return float64(sc.TargetRows) / float64(sc.PageViews)
 }
 
-func writeRows(fs *dfs.FS, path string, emit func(w *tuple.Writer) error) error {
+func writeRows(fs dfs.Backend, path string, emit func(w *tuple.Writer) error) error {
 	f := fs.Create(path + "/part-00000")
 	w := tuple.NewWriter(f)
 	if err := emit(w); err != nil {
@@ -177,7 +177,7 @@ func writeRows(fs *dfs.FS, path string, emit func(w *tuple.Writer) error) error 
 	return f.Close()
 }
 
-func generatePageViews(fs *dfs.FS, r *rand.Rand, sc Scale) error {
+func generatePageViews(fs dfs.Backend, r *rand.Rand, sc Scale) error {
 	userZipf := newZipf(r, NumUsers, 0.8)
 	termZipf := newZipf(r, NumQueryTerms, 1.0)
 	return writeRows(fs, PathPageViews, func(w *tuple.Writer) error {
@@ -207,7 +207,7 @@ func generatePageViews(fs *dfs.FS, r *rand.Rand, sc Scale) error {
 	})
 }
 
-func generateUsers(fs *dfs.FS, r *rand.Rand) error {
+func generateUsers(fs dfs.Backend, r *rand.Rand) error {
 	return writeRows(fs, PathUsers, func(w *tuple.Writer) error {
 		for i := 0; i < NumUsers+NumExtraUsers; i++ {
 			row := tuple.Tuple{
@@ -224,7 +224,7 @@ func generateUsers(fs *dfs.FS, r *rand.Rand) error {
 	})
 }
 
-func generatePowerUsers(fs *dfs.FS, r *rand.Rand) error {
+func generatePowerUsers(fs dfs.Backend, r *rand.Rand) error {
 	return writeRows(fs, PathPowerUsers, func(w *tuple.Writer) error {
 		for i := 0; i < NumPowerUsers; i++ {
 			row := tuple.Tuple{
@@ -241,7 +241,7 @@ func generatePowerUsers(fs *dfs.FS, r *rand.Rand) error {
 	})
 }
 
-func generateWiderow(fs *dfs.FS, r *rand.Rand, path string) error {
+func generateWiderow(fs dfs.Backend, r *rand.Rand, path string) error {
 	userZipf := newZipf(r, NumUsers, 0.5)
 	return writeRows(fs, path, func(w *tuple.Writer) error {
 		for i := 0; i < WiderowRows; i++ {

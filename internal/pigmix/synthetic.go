@@ -60,7 +60,7 @@ var TinySyntheticScale = SyntheticScale{Rows: 1_500, TargetSimBytes: 1 << 30, Ta
 
 // GenerateSynthetic writes the synthetic data set and returns its
 // actual size in bytes.
-func GenerateSynthetic(fs *dfs.FS, sc SyntheticScale, seed int64) (int64, error) {
+func GenerateSynthetic(fs dfs.Backend, sc SyntheticScale, seed int64) (int64, error) {
 	r := rand.New(rand.NewSource(seed))
 	err := writeRows(fs, PathSynthetic, func(w *tuple.Writer) error {
 		for i := 0; i < sc.Rows; i++ {
@@ -98,7 +98,7 @@ func skewedBit(r *rand.Rand, pZero float64) int64 {
 
 // SyntheticSimScale returns the SimScale mapping the generated file to
 // the target simulated volume.
-func SyntheticSimScale(fs *dfs.FS, sc SyntheticScale) float64 {
+func SyntheticSimScale(fs dfs.Backend, sc SyntheticScale) float64 {
 	actual := fs.Size(PathSynthetic)
 	if actual <= 0 {
 		return 1

@@ -400,7 +400,7 @@ type System struct {
 	// the read side for their full duration, reconfiguration takes the
 	// write side.
 	mu     sync.RWMutex
-	fs     *dfs.FS
+	fs     dfs.Backend
 	eng    *mapreduce.Engine
 	repo   *core.Repository
 	store  *core.StorageManager
@@ -451,7 +451,7 @@ func New(cfg Config) *System {
 // Without durability, Recover simply attaches a fresh in-memory
 // repository to the given DFS (the legacy SaveRepository/LoadRepository
 // flow still works there).
-func Recover(cfg Config, fs *dfs.FS) (*System, error) {
+func Recover(cfg Config, fs dfs.Backend) (*System, error) {
 	if cfg.DefaultReducers <= 0 {
 		if cfg.Topology.Workers > 0 {
 			cfg.DefaultReducers = cfg.Topology.ReduceSlots()
@@ -506,6 +506,8 @@ func Recover(cfg Config, fs *dfs.FS) (*System, error) {
 	if durable != nil {
 		store.SetDurable(durable, leases)
 		store.SetQueryPrefix(prefix + "q")
+		store.SetPins(core.NewPinSet(fs, core.NamespacePath(cfg.NamespaceRoot, "pins"),
+			durable.Writer(), cfg.Durability.LeaseTTL))
 	}
 	driver := core.NewDriver(eng, repo, cfg.Options)
 	driver.Store = store
@@ -621,7 +623,7 @@ func (s *System) MatcherStats() MatcherStats {
 }
 
 // FS exposes the distributed file system.
-func (s *System) FS() *dfs.FS { return s.fs }
+func (s *System) FS() dfs.Backend { return s.fs }
 
 // Repository exposes the ReStore repository.
 func (s *System) Repository() *core.Repository {
