@@ -32,6 +32,9 @@
 // would — and reruns the script warm, proving the recovered repository
 // answers with reuse and that recovery decoded no stored plans.
 // -neg-cache sizes the cross-query negative-containment cache.
+// -stats-json replaces the human-readable closing stats with one JSON
+// document in the same schema a restore-server's /metrics endpoint
+// serves, so dashboards parse one format for both.
 //
 // -backend picks the DFS substrate: "memory" (the default, volatile)
 // or "disk", which persists datasets and the record log under
@@ -53,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfs"
 	"repro/internal/pigmix"
+	"repro/internal/service"
 )
 
 func main() {
@@ -84,6 +88,7 @@ func main() {
 		recoverFlag  = flag.Bool("recover-check", false, "after the runs, recover a fresh System from the durable log and verify it reuses identically")
 		backendFlag  = flag.String("backend", "memory", "DFS backend: memory (volatile) or disk (persistent, needs -data-dir)")
 		dataDirFlag  = flag.String("data-dir", "", "directory of the disk backend's datasets and record log")
+		statsJSON    = flag.Bool("stats-json", false, "print the final stats as one JSON document (the /metrics schema) instead of text")
 	)
 	flag.Parse()
 
@@ -232,6 +237,17 @@ func main() {
 				fmt.Println("  ", r)
 			}
 		}
+	}
+	if *statsJSON {
+		// One machine-readable document, byte-compatible with what a
+		// restore-server's /metrics endpoint returns for the same System.
+		if err := service.SystemStats(sys).WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+		if *recoverFlag {
+			recoverCheck(cfg, sys, script)
+		}
+		return
 	}
 	st := sys.StorageStats()
 	fmt.Printf("repository: %d entries, %.1f MB retained", st.Entries, float64(st.UsageBytes)/(1<<20))

@@ -1,0 +1,248 @@
+// Command restore-server runs the multi-tenant ReStore query service:
+// a long-lived HTTP front-end over one shared System, so many clients'
+// Pig Latin queries reuse each other's MapReduce job outputs across
+// sessions and process restarts.
+//
+// Usage:
+//
+//	restore-server -listen :8080                       # memory backend, tiny quotas
+//	restore-server -backend disk -data-dir /var/restore -durable
+//	restore-server -quota analytics=3:8:32 -quota adhoc=1:2:8
+//
+// The engine flags mirror restore-cli (-backend/-data-dir, -durable
+// and its tuning, -scale, -max-repo-mb/-evict, -max-cluster-jobs, …):
+// the server opens the same DFS, Recovers the repository from the
+// durable log when one exists, and generates the PigMix instance only
+// when the backend doesn't already hold it — so with `-backend disk
+// -durable`, killing and restarting the server comes back warm and
+// answers repeated queries with reuse immediately.
+//
+// Serving flags shape admission: -max-concurrent is the global slot
+// pool, -default-weight/-default-inflight/-default-queued the quota of
+// unlisted tenants, and each -quota name=weight:inflight:queued entry
+// overrides one tenant. Saturation degrades into weighted fair
+// sharing; a tenant over its queue bound gets 429 + Retry-After.
+//
+// SIGINT/SIGTERM drains gracefully (stop accepting, let running
+// queries finish); a second signal cancels everything still live.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/pigmix"
+	"repro/internal/service"
+)
+
+// quotaFlags collects repeatable -quota name=weight:inflight:queued
+// entries.
+type quotaFlags map[string]service.TenantQuota
+
+func (q quotaFlags) String() string { return fmt.Sprintf("%d quotas", len(q)) }
+
+func (q quotaFlags) Set(spec string) error {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=weight:inflight:queued, got %q", spec)
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want name=weight:inflight:queued, got %q", spec)
+	}
+	nums := make([]int, 3)
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad quota number %q in %q", p, spec)
+		}
+		nums[i] = n
+	}
+	q[name] = service.TenantQuota{Weight: nums[0], MaxInFlight: nums[1], MaxQueued: nums[2]}
+	return nil
+}
+
+func main() {
+	quotas := quotaFlags{}
+	flag.Var(quotas, "quota", "per-tenant quota name=weight:inflight:queued (repeatable)")
+	var (
+		listenFlag   = flag.String("listen", ":8080", "HTTP listen address")
+		scaleFlag    = flag.String("scale", "tiny", "PigMix instance: tiny, 15GB or 150GB")
+		maxConcFlag  = flag.Int("max-concurrent", 16, "admitted-and-running queries across all tenants")
+		defWeight    = flag.Int("default-weight", 1, "fair-share weight of unlisted tenants")
+		defInflight  = flag.Int("default-inflight", 4, "in-flight cap of unlisted tenants")
+		defQueued    = flag.Int("default-queued", 16, "waiting-queue bound of unlisted tenants")
+		retryFlag    = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		streamFlag   = flag.Duration("stream-interval", 100*time.Millisecond, "status poll period of /queries/{id}/events")
+		retainFlag   = flag.Int("retain-done", 4096, "finished queries kept inspectable")
+		reuseFlag    = flag.Bool("reuse", true, "default reuse policy of submitted queries")
+		heurFlag     = flag.String("heuristic", "aggressive", "default sub-job heuristic: off, conservative, aggressive, no-heuristic")
+		wholeFlag    = flag.Bool("whole-jobs", true, "store whole job outputs in the repository")
+		linearFlag   = flag.Bool("linear-match", false, "match by sequential repository scan instead of the signature index")
+		workerFlag   = flag.Int("workers", 0, "concurrent jobs per workflow DAG (0 = NumCPU)")
+		maxJobsFlag  = flag.Int("max-cluster-jobs", 0, "global cap on jobs running across all queries (0 = unlimited)")
+		budgetFlag   = flag.Int64("max-repo-mb", 0, "repository storage budget in MB (0 = unbounded)")
+		evictFlag    = flag.String("evict", "cost-benefit", "eviction policy under the budget: reuse-window, lru, cost-benefit")
+		windowFlag   = flag.Duration("evict-window", time.Hour, "idle window of the reuse-window policy (simulated time)")
+		janitorFlag  = flag.Duration("janitor", 0, "background storage-janitor sweep interval (0 = off)")
+		nsRootFlag   = flag.String("ns-root", "", "root of ReStore's managed namespaces")
+		negCacheFlag = flag.Int("neg-cache", 0, "cross-query negative-containment cache entries (0 = default)")
+		durableFlag  = flag.Bool("durable", false, "journal the repository to a manifest + event log on the DFS")
+		durPathFlag  = flag.String("durable-path", "", "DFS directory of the manifest and event log")
+		compactFlag  = flag.Int("compact-every", 0, "records between automatic log compactions (0 = default, negative = never)")
+		leaseTTLFlag = flag.Duration("lease-ttl", 0, "cross-process claim lease TTL (0 = default)")
+		backendFlag  = flag.String("backend", "memory", "DFS backend: memory (volatile) or disk (persistent, needs -data-dir)")
+		dataDirFlag  = flag.String("data-dir", "", "directory of the disk backend's datasets and record log")
+		drainFlag    = flag.Duration("drain-timeout", 30*time.Second, "grace period before live queries are hard-cancelled on shutdown")
+	)
+	flag.Parse()
+
+	heur, err := core.ParseHeuristic(*heurFlag)
+	if err != nil {
+		fail(err)
+	}
+	var scale pigmix.Scale
+	switch strings.ToLower(*scaleFlag) {
+	case "tiny":
+		scale = pigmix.TinyScale
+	case "15gb":
+		scale = pigmix.Scale15GB
+	case "150gb":
+		scale = pigmix.Scale150GB
+	default:
+		fail(fmt.Errorf("unknown scale %q (want tiny, 15GB or 150GB)", *scaleFlag))
+	}
+
+	cfg := restore.DefaultConfig()
+	cfg.MaxClusterJobs = *maxJobsFlag
+	cfg.MaxRepositoryBytes = *budgetFlag << 20
+	if policy, ok := core.ParseEvictionPolicy(*evictFlag, *windowFlag); ok {
+		cfg.Eviction = policy
+	} else {
+		fail(fmt.Errorf("unknown eviction policy %q (want reuse-window, lru or cost-benefit)", *evictFlag))
+	}
+	cfg.JanitorInterval = *janitorFlag
+	cfg.NamespaceRoot = *nsRootFlag
+	cfg.NegCacheEntries = *negCacheFlag
+	cfg.Durability = restore.DurabilityConfig{
+		Enabled:      *durableFlag,
+		Path:         *durPathFlag,
+		CompactEvery: *compactFlag,
+		LeaseTTL:     *leaseTTLFlag,
+	}
+
+	var fs dfs.Backend
+	switch *backendFlag {
+	case "memory":
+		fs = dfs.New()
+	case "disk":
+		if *dataDirFlag == "" {
+			fail(errors.New("-backend=disk needs -data-dir"))
+		}
+		disk, err := dfs.OpenDisk(*dataDirFlag)
+		if err != nil {
+			fail(err)
+		}
+		defer disk.Close()
+		fs = disk
+	default:
+		fail(fmt.Errorf("unknown backend %q (want memory or disk)", *backendFlag))
+	}
+
+	sys, err := restore.Recover(cfg, fs)
+	if err != nil {
+		fail(err)
+	}
+	if fs.Size(pigmix.PathPageViews) > 0 {
+		fmt.Printf("restore-server: reusing PigMix instance found on the %s backend\n", *backendFlag)
+	} else {
+		fmt.Printf("restore-server: generating PigMix %s instance…\n", scale.Name)
+		if _, err := pigmix.Generate(fs, scale, 1); err != nil {
+			fail(err)
+		}
+	}
+	sys.SetScales(pigmix.SimScaleFor(fs, scale), pigmix.RecordScaleFor(scale))
+	if *durableFlag {
+		ds := sys.DurabilityStats()
+		fmt.Printf("restore-server: durable log at %s, %d entries recovered\n", ds.Root, ds.RecoveredEntries)
+	}
+
+	srv := service.NewServer(sys, service.Config{
+		MaxConcurrent: *maxConcFlag,
+		DefaultQuota: service.TenantQuota{
+			Weight: *defWeight, MaxInFlight: *defInflight, MaxQueued: *defQueued,
+		},
+		Quotas: quotas,
+		DefaultOptions: restore.Options{
+			Reuse:         *reuseFlag,
+			Heuristic:     heur,
+			KeepWholeJobs: *wholeFlag,
+			LinearMatch:   *linearFlag,
+		},
+		DefaultWorkers: *workerFlag,
+		RetryAfter:     *retryFlag,
+		StreamInterval: *streamFlag,
+		RetainDone:     *retainFlag,
+	})
+
+	httpSrv := &http.Server{Addr: *listenFlag, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("restore-server: serving on %s (%d tenant quotas, %d global slots)\n",
+		*listenFlag, len(quotas), *maxConcFlag)
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal.
+		srv.Close()
+		fail(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+	fmt.Println("restore-server: draining (signal again to hard-cancel)")
+
+	// Hard-cancel path: second signal or drain timeout aborts the live
+	// queries so Close can finish.
+	hardCtx, hardStop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer hardStop()
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-hardCtx.Done():
+		case <-time.After(*drainFlag):
+		case <-done:
+			return
+		}
+		n := srv.CancelAll()
+		fmt.Printf("restore-server: hard-cancelled %d live queries\n", n)
+	}()
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainFlag+5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutCtx)
+	if err := srv.Close(); err != nil {
+		fail(err)
+	}
+	close(done)
+	fmt.Println("restore-server: drained")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "restore-server:", err)
+	os.Exit(1)
+}

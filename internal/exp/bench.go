@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchArtifact is the machine-readable perf artifact CI uploads as
+// BENCH_<sha>.json — the diffable perf curve the ROADMAP asks for. One
+// document carries the service-level load-harness report and the
+// parsed `go test -bench` microbenchmarks, so a later PR's artifact
+// diffs cleanly against this one.
+type BenchArtifact struct {
+	// SHA identifies the commit the artifact measures.
+	SHA string `json:"sha"`
+	// GeneratedAt stamps the run (RFC 3339).
+	GeneratedAt time.Time `json:"generatedAt"`
+	// Load is the restore-load harness report, when a load run was part
+	// of the job.
+	Load *LoadReport `json:"load,omitempty"`
+	// Microbench carries the parsed `go test -bench` records, when the
+	// text output was fed in.
+	Microbench []BenchRecord `json:"microbench,omitempty"`
+}
+
+// WriteJSON writes the artifact as one indented JSON document.
+func (a *BenchArtifact) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// LoadReport is the load harness's service-level measurement: latency
+// percentiles, throughput, reuse-hit ratio, and admission rejections,
+// in total and per tenant.
+type LoadReport struct {
+	// Addr is the server driven; Sessions, QueriesPerSession and Skew
+	// describe the workload shape; Mix the query names offered
+	// (most popular first under the Zipfian draw).
+	Addr              string   `json:"addr"`
+	Sessions          int      `json:"sessions"`
+	QueriesPerSession int      `json:"queriesPerSession"`
+	Skew              float64  `json:"skew"`
+	Mix               []string `json:"mix,omitempty"`
+
+	// Completed, Failed and Canceled count terminal queries; Rejected
+	// counts 429 responses observed (each retry that was again rejected
+	// counts once more).
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Rejected  int64 `json:"rejected"`
+
+	// WallSeconds is the harness's total wall time; Throughput is
+	// completed queries per second over it.
+	WallSeconds float64 `json:"wallSeconds"`
+	Throughput  float64 `json:"throughput"`
+
+	// Latency percentiles of completed queries, submit → result,
+	// milliseconds.
+	LatencyP50Ms float64 `json:"latencyP50Ms"`
+	LatencyP95Ms float64 `json:"latencyP95Ms"`
+	LatencyP99Ms float64 `json:"latencyP99Ms"`
+	LatencyMaxMs float64 `json:"latencyMaxMs"`
+
+	// Reuse accounting over completed queries: MapReduce jobs run
+	// versus whole-job reuses, rewrites applied, queries with at least
+	// one reuse, and the query-level reuse-hit ratio
+	// (QueriesWithReuse/Completed).
+	JobsRun          int64   `json:"jobsRun"`
+	JobsReused       int64   `json:"jobsReused"`
+	Rewrites         int64   `json:"rewrites"`
+	QueriesWithReuse int64   `json:"queriesWithReuse"`
+	ReuseHitRatio    float64 `json:"reuseHitRatio"`
+
+	// PerTenant breaks the traffic down by tenant.
+	PerTenant map[string]*TenantLoad `json:"perTenant,omitempty"`
+}
+
+// TenantLoad is one tenant's slice of a load run.
+type TenantLoad struct {
+	Sessions         int     `json:"sessions"`
+	Completed        int64   `json:"completed"`
+	Failed           int64   `json:"failed"`
+	Canceled         int64   `json:"canceled"`
+	Rejected         int64   `json:"rejected"`
+	LatencyP50Ms     float64 `json:"latencyP50Ms"`
+	LatencyP99Ms     float64 `json:"latencyP99Ms"`
+	JobsRun          int64   `json:"jobsRun"`
+	JobsReused       int64   `json:"jobsReused"`
+	Rewrites         int64   `json:"rewrites"`
+	QueriesWithReuse int64   `json:"queriesWithReuse"`
+}
+
+// BenchRecord is one parsed `go test -bench` result line.
+type BenchRecord struct {
+	// Name is the benchmark's full name including the -cpu suffix
+	// (e.g. "BenchmarkRewrite/indexed-1k-8").
+	Name string `json:"name"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline metric.
+	NsPerOp float64 `json:"nsPerOp"`
+	// BytesPerOp and AllocsPerOp are present when the benchmark
+	// reported allocations (-1 when absent).
+	BytesPerOp  int64 `json:"bytesPerOp"`
+	AllocsPerOp int64 `json:"allocsPerOp"`
+	// Extra holds any further "value unit" pairs (MB/s, custom
+	// ReportMetric units), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// ParseGoBench parses `go test -bench` text output into records,
+// skipping non-benchmark lines (goos/pkg headers, PASS/ok trailers).
+// It never fails on malformed lines — a perf artifact with a few
+// unparsed lines beats no artifact — it just drops them.
+func ParseGoBench(r io.Reader) ([]BenchRecord, error) {
+	var out []BenchRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		rec := BenchRecord{Name: fields[0], Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+		// The tail is "value unit" pairs: 123 ns/op [45 B/op 6 allocs/op ...].
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				rec.NsPerOp = val
+			case "B/op":
+				rec.BytesPerOp = int64(val)
+			case "allocs/op":
+				rec.AllocsPerOp = int64(val)
+			default:
+				if rec.Extra == nil {
+					rec.Extra = map[string]float64{}
+				}
+				rec.Extra[unit] = val
+			}
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("exp: reading bench output: %w", err)
+	}
+	return out, nil
+}
+
+// Percentile returns the p-th percentile (0..100) of sorted
+// millisecond samples (nearest-rank). Zero for an empty set.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

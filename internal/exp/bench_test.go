@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestZipfMixDeterministicAndSkewed(t *testing.T) {
+	items := []string{"L1", "L2", "L3", "L5", "L12"}
+	a, err := NewZipfMix(items, 1.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewZipfMix(items, 1.0, 42)
+
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		pa, pb := a.Pick(), b.Pick()
+		if pa != pb {
+			t.Fatalf("draw %d diverged under same seed: %q vs %q", i, pa, pb)
+		}
+		counts[pa]++
+	}
+	// Popularity must follow item order under skew 1.0.
+	for i := 1; i < len(items); i++ {
+		if counts[items[i-1]] < counts[items[i]] {
+			t.Fatalf("expected %s (rank %d) at least as popular as %s: %v",
+				items[i-1], i-1, items[i], counts)
+		}
+	}
+	if counts["L1"] < 2*counts["L12"] {
+		t.Fatalf("skew 1.0 should make the head dominate the tail: %v", counts)
+	}
+
+	total := 0.0
+	for i := range items {
+		total += a.Probability(i)
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("probabilities sum to %v, want 1", total)
+	}
+}
+
+func TestZipfMixUniformAtZeroSkew(t *testing.T) {
+	m, err := NewZipfMix([]string{"a", "b", "c", "d"}, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if p := m.Probability(i); p < 0.2499 || p > 0.2501 {
+			t.Fatalf("skew 0 item %d probability %v, want 0.25", i, p)
+		}
+	}
+}
+
+func TestZipfMixRejectsBadInput(t *testing.T) {
+	if _, err := NewZipfMix(nil, 1, 1); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	if _, err := NewZipfMix([]string{"x"}, -0.5, 1); err == nil {
+		t.Fatal("negative skew accepted")
+	}
+}
+
+func TestParseGoBench(t *testing.T) {
+	const text = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: whatever
+BenchmarkMatcherIndexed-8   	  123456	      9876 ns/op	     512 B/op	       7 allocs/op
+BenchmarkMatcherLinear/1k-8 	    2000	    654321 ns/op
+BenchmarkThroughput-8       	    1000	   1000000 ns/op	  88.25 MB/s
+garbage line that is not a benchmark
+BenchmarkBroken-8           	  notanumber	 10 ns/op
+PASS
+ok  	repro/internal/core	3.21s
+`
+	recs, err := ParseGoBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records, want 3: %+v", len(recs), recs)
+	}
+	r0 := recs[0]
+	if r0.Name != "BenchmarkMatcherIndexed-8" || r0.Iterations != 123456 ||
+		r0.NsPerOp != 9876 || r0.BytesPerOp != 512 || r0.AllocsPerOp != 7 {
+		t.Fatalf("bad first record: %+v", r0)
+	}
+	r1 := recs[1]
+	if r1.Name != "BenchmarkMatcherLinear/1k-8" || r1.NsPerOp != 654321 ||
+		r1.BytesPerOp != -1 || r1.AllocsPerOp != -1 {
+		t.Fatalf("bad second record: %+v", r1)
+	}
+	if got := recs[2].Extra["MB/s"]; got != 88.25 {
+		t.Fatalf("MB/s = %v, want 88.25", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := []float64{5, 1, 3, 2, 4}
+	sort.Float64s(samples)
+	if got := Percentile(samples, 50); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	if got := Percentile(samples, 99); got != 5 {
+		t.Fatalf("p99 = %v, want 5", got)
+	}
+	if got := Percentile(samples, 0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty p50 = %v, want 0", got)
+	}
+}

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro"
+)
+
+// StatsBundle is the one machine-readable stats document of a System:
+// the /metrics endpoint's body, and exactly what `restore-cli
+// -stats-json` prints, so dashboards parse one schema whether they
+// watch a server or a one-shot run.
+type StatsBundle struct {
+	// Storage, Matcher, Durability and Leases are the engine
+	// subsystems' snapshots (Durability and Leases are zero without
+	// Config.Durability).
+	Storage    restore.StorageStats    `json:"storage"`
+	Matcher    restore.MatcherStats    `json:"matcher"`
+	Durability restore.DurabilityStats `json:"durability"`
+	Leases     restore.LeaseStats      `json:"leases"`
+	// Service carries the serving front-end's per-tenant counters; nil
+	// when the bundle was taken from a System with no server in front
+	// (restore-cli).
+	Service *ServiceStats `json:"service,omitempty"`
+}
+
+// SystemStats snapshots the engine-side stats of sys into a bundle.
+func SystemStats(sys *restore.System) StatsBundle {
+	st := sys.StorageStats()
+	return StatsBundle{
+		Storage:    st,
+		Matcher:    sys.MatcherStats(),
+		Durability: sys.DurabilityStats(),
+		Leases:     st.Leases,
+	}
+}
+
+// WriteJSON writes the bundle as one indented JSON document.
+func (b StatsBundle) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ServiceStats is the serving front-end's counter snapshot: admission
+// traffic, live depth, and reuse accounting, in total and per tenant.
+type ServiceStats struct {
+	// SessionsCreated and SessionsActive count sessions ever opened and
+	// currently open.
+	SessionsCreated int64 `json:"sessionsCreated"`
+	SessionsActive  int64 `json:"sessionsActive"`
+
+	TenantCounters
+
+	// Tenants breaks the counters down by tenant identity.
+	Tenants map[string]*TenantCounters `json:"tenants,omitempty"`
+}
+
+// TenantCounters is one tenant's (or the whole service's) counter set.
+type TenantCounters struct {
+	// Weight, MaxInFlight and MaxQueued echo the effective quota (zero
+	// on the service-wide totals).
+	Weight      int `json:"weight,omitempty"`
+	MaxInFlight int `json:"maxInFlight,omitempty"`
+	MaxQueued   int `json:"maxQueued,omitempty"`
+
+	// Submitted counts queries accepted for admission; Rejected those
+	// turned away with 429 (over-quota); Admitted those that reached
+	// System.Submit; Completed/Failed/Canceled the terminal states.
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+
+	// Queued and InFlight are the live depths.
+	Queued   int64 `json:"queued"`
+	InFlight int64 `json:"inFlight"`
+
+	// JobsRun and JobsReused total the completed queries' MapReduce
+	// jobs executed versus answered whole from the repository; Rewrites
+	// counts the repository reuses applied (whole-job and sub-plan);
+	// QueriesWithReuse counts completed queries with at least one
+	// reuse of either kind. QueriesWithReuse/Completed is the
+	// service-level reuse-hit ratio.
+	JobsRun          int64 `json:"jobsRun"`
+	JobsReused       int64 `json:"jobsReused"`
+	Rewrites         int64 `json:"rewrites"`
+	QueriesWithReuse int64 `json:"queriesWithReuse"`
+}
+
+// ReuseHitRatio is the share of completed queries answered at least
+// partly from the repository (0 when none completed yet).
+func (c *TenantCounters) ReuseHitRatio() float64 {
+	if c.Completed == 0 {
+		return 0
+	}
+	return float64(c.QueriesWithReuse) / float64(c.Completed)
+}
+
+// serviceMeter accumulates ServiceStats under the server's lock.
+type serviceMeter struct {
+	total   TenantCounters
+	tenants map[string]*TenantCounters
+}
+
+func newServiceMeter() *serviceMeter {
+	return &serviceMeter{tenants: map[string]*TenantCounters{}}
+}
+
+// forTenant returns (creating) the tenant's counter set.
+func (m *serviceMeter) forTenant(tenant string, quota TenantQuota) *TenantCounters {
+	c := m.tenants[tenant]
+	if c == nil {
+		q := quota.resolved()
+		c = &TenantCounters{Weight: q.Weight, MaxInFlight: q.MaxInFlight, MaxQueued: q.MaxQueued}
+		m.tenants[tenant] = c
+	}
+	return c
+}
+
+// add applies fn to both the service-wide totals and the tenant's set.
+func (m *serviceMeter) add(tenant string, quota TenantQuota, fn func(*TenantCounters)) {
+	fn(&m.total)
+	fn(m.forTenant(tenant, quota))
+}
+
+// snapshot deep-copies the counters.
+func (m *serviceMeter) snapshot() ServiceStats {
+	out := ServiceStats{TenantCounters: m.total, Tenants: map[string]*TenantCounters{}}
+	// The totals row carries no quota of its own.
+	out.Weight, out.MaxInFlight, out.MaxQueued = 0, 0, 0
+	for name, c := range m.tenants {
+		cp := *c
+		out.Tenants[name] = &cp
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -462,5 +463,113 @@ store s into 'c/out';
 		if !tuple.Equal(rows[i], golden[i]) {
 			t.Errorf("row %d = %v, want %v (reused overwritten output?)", i, rows[i], golden[i])
 		}
+	}
+}
+
+// TestCancelByTagConcurrent is the acceptance check for cancel-by-tag
+// under concurrency: with several live queries sharing one tag
+// (submitted from racing goroutines), plus finished queries that used
+// the same tag and a live query under a different tag,
+// Cancel(idOrTag) must hit exactly the live tag-holders — every one of
+// them — and nothing else.
+func TestCancelByTagConcurrent(t *testing.T) {
+	sys := newTestSystem(Options{})
+	seedEvents(t, sys)
+
+	// Queries that already finished under the tag: their handles have
+	// left the registry, so Cancel must not count them.
+	for i := 0; i < 2; i++ {
+		if _, err := sys.ExecuteContext(context.Background(),
+			fmt.Sprintf(twoJobScript, fmt.Sprintf("tagdone/%d", i)),
+			WithTag("nightly")); err != nil {
+			t.Fatalf("finished tagged run %d: %v", i, err)
+		}
+	}
+
+	const live = 4
+	release := make(chan struct{})
+	var running atomic.Int32
+	submit := func(tag, out string) (*Query, error) {
+		var once sync.Once
+		return sys.Submit(context.Background(), fmt.Sprintf(twoJobScript, out),
+			WithTag(tag),
+			withJobObserver(func(jobID string, st JobState) {
+				if st == JobRunning {
+					once.Do(func() {
+						running.Add(1)
+						<-release // hold the first job mid-flight
+					})
+				}
+			}))
+	}
+
+	// Race the tag-sharing submissions against each other.
+	queries := make([]*Query, live)
+	errs := make([]error, live)
+	var wg sync.WaitGroup
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			queries[i], errs[i] = submit("nightly", fmt.Sprintf("taglive/%d", i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	other, err := submit("adhoc", "tagother/out")
+	if err != nil {
+		t.Fatalf("Submit adhoc: %v", err)
+	}
+
+	// Wait until every live query is provably mid-flight (first job
+	// gated), so Cancel races against running work, not queued work.
+	deadline := time.Now().Add(10 * time.Second)
+	for running.Load() < live+1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d queries reached running", running.Load(), live+1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The registry sees exactly the live handles, by tag.
+	byTag := map[string]int{}
+	for _, q := range sys.Queries() {
+		byTag[q.Tag()]++
+	}
+	if byTag["nightly"] != live || byTag["adhoc"] != 1 {
+		t.Fatalf("live registry by tag = %v, want nightly:%d adhoc:1", byTag, live)
+	}
+
+	if n := sys.Cancel("nightly"); n != live {
+		t.Fatalf("Cancel(nightly) = %d, want %d", n, live)
+	}
+	close(release)
+
+	for i, q := range queries {
+		if _, err := q.Wait(); !errors.Is(err, context.Canceled) {
+			t.Errorf("tagged query %d: Wait err = %v, want context.Canceled", i, err)
+		}
+	}
+	// The differently-tagged query was untouched and completes.
+	res, err := other.Wait()
+	if err != nil {
+		t.Fatalf("adhoc query: %v", err)
+	}
+	if res.JobsRun != 2 {
+		t.Errorf("adhoc JobsRun = %d, want 2", res.JobsRun)
+	}
+	// The finished tagged runs' outputs survived the cancellation.
+	for i := 0; i < 2; i++ {
+		if _, err := sys.ReadDataset(fmt.Sprintf("tagdone/%d", i)); err != nil {
+			t.Errorf("finished tagged output %d lost: %v", i, err)
+		}
+	}
+	// Everything matching is gone: a second sweep cancels nothing.
+	if n := sys.Cancel("nightly"); n != 0 {
+		t.Errorf("second Cancel(nightly) = %d, want 0", n)
 	}
 }

@@ -622,6 +622,14 @@ func (s *System) MatcherStats() MatcherStats {
 	return s.repo.MatcherStats()
 }
 
+// LeaseStats snapshots the cross-process claim-lease manager (grants,
+// takeovers, reaps, fencing losses, renewals). The zero value is
+// returned when durability is off: leases exist only on a durable
+// store.
+func (s *System) LeaseStats() LeaseStats {
+	return s.StorageStats().Leases
+}
+
 // FS exposes the distributed file system.
 func (s *System) FS() dfs.Backend { return s.fs }
 
@@ -830,6 +838,7 @@ type execConfig struct {
 	opts     Options
 	workers  int
 	tag      string
+	tenant   string
 	observer func(jobID string, state JobState)
 	progress func(jobID string, done, total int, sim time.Duration)
 }
@@ -856,6 +865,15 @@ func WithWorkers(n int) ExecOption {
 // Query.Status — useful when one dashboard multiplexes many tenants.
 func WithTag(tag string) ExecOption {
 	return func(c *execConfig) { c.tag = tag }
+}
+
+// WithTenant attaches a tenant identity to the query. The tenant is
+// reported by Query.Tenant and QueryStatus, so a serving front-end
+// multiplexing many clients over one System (internal/service) can
+// account, list and cancel per tenant. Unlike WithTag it names who
+// submitted the query rather than what the query is.
+func WithTenant(tenant string) ExecOption {
+	return func(c *execConfig) { c.tenant = tenant }
 }
 
 // withJobObserver registers a synchronous per-job lifecycle callback;
@@ -900,6 +918,8 @@ type QueryStatus struct {
 	ID string
 	// Tag is the WithTag label, if any.
 	Tag string
+	// Tenant is the WithTenant identity, if any.
+	Tenant string
 	// Done reports whether the query has finished (successfully or not).
 	Done bool
 	// Err is the terminal error of a finished query (nil on success or
@@ -924,9 +944,10 @@ type QueryStatus struct {
 // whose lifetime is bound to the context passed to Submit. All methods
 // are safe for concurrent use.
 type Query struct {
-	id  string
-	tag string
-	sys *System
+	id     string
+	tag    string
+	tenant string
+	sys    *System
 
 	done   chan struct{}
 	cancel context.CancelFunc
@@ -943,6 +964,9 @@ func (q *Query) ID() string { return q.id }
 
 // Tag returns the WithTag label, if any.
 func (q *Query) Tag() string { return q.tag }
+
+// Tenant returns the WithTenant identity, if any.
+func (q *Query) Tenant() string { return q.tenant }
 
 // Cancel aborts the query as if its submission context had been
 // cancelled: unstarted jobs stay pending, running jobs release their
@@ -978,7 +1002,7 @@ func (q *Query) Result() (*Result, error) {
 // Status snapshots the query's per-job lifecycle states and task-level
 // progress.
 func (q *Query) Status() QueryStatus {
-	st := QueryStatus{ID: q.id, Tag: q.tag}
+	st := QueryStatus{ID: q.id, Tag: q.tag, Tenant: q.tenant}
 	select {
 	case <-q.done:
 		st.Done = true
@@ -1040,6 +1064,7 @@ func (s *System) Submit(ctx context.Context, script string, opts ...ExecOption) 
 	q := &Query{
 		id:       qid,
 		tag:      ec.tag,
+		tenant:   ec.tenant,
 		sys:      s,
 		done:     make(chan struct{}),
 		cancel:   cancel,
