@@ -7,6 +7,7 @@
 package restore_test
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -16,7 +17,11 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/logical"
+	"repro/internal/mrcompile"
+	"repro/internal/piglatin"
 	"repro/internal/pigmix"
+	"repro/internal/tuple"
 )
 
 // benchReport runs one experiment per iteration and logs the table once.
@@ -335,4 +340,117 @@ func BenchmarkConcurrentProbe(b *testing.B) {
 	b.StopTimer()
 	close(stop)
 	<-churnDone
+}
+
+// warmRepeatSystem builds the warm-repeat workload: a tiny PigMix
+// instance plus n synthetic repository entries that never match the
+// probe query — the restore-cli -repeat shape, where every submission
+// pays full matching against a large repository and then actually runs
+// its jobs. cacheOff disables the decoded-dataset batch cache so the
+// on/off sub-benchmarks isolate the fast path's contribution.
+func warmRepeatSystem(b *testing.B, n int, cacheOff bool) *restore.System {
+	b.Helper()
+	cfg := restore.DefaultConfig()
+	// Reuse on but nothing stored: every run probes the repository,
+	// misses, and executes — the steady state under diverse traffic.
+	cfg.Options = restore.Options{Reuse: true, Heuristic: restore.HeuristicOff}
+	if cacheOff {
+		cfg.MaxCachedBatchBytes = -1
+	}
+	sys := restore.New(cfg)
+	fs := sys.FS()
+	if _, err := pigmix.Generate(fs, pigmix.TinyScale, 1); err != nil {
+		b.Fatal(err)
+	}
+	sys.SetScales(pigmix.SimScaleFor(fs, pigmix.TinyScale), pigmix.RecordScaleFor(pigmix.TinyScale))
+
+	repo := sys.Repository()
+	for i := 0; i < n; i++ {
+		script, err := piglatin.Parse(fmt.Sprintf(`
+A = load 'data/src%d' as (a, b, c);
+B = filter A by a > %d;
+store B into 'stored/e%d';
+`, i, i, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lp, err := logical.Build(script)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wf, err := mrcompile.Compile(lp, mrcompile.Options{TempPrefix: fmt.Sprintf("tmp/wr%d", i), DefaultReducers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := fmt.Sprintf("stored/e%d", i)
+		if err := fs.WriteFile(out+"/part-00000", []byte("1\t2\t3\n")); err != nil {
+			b.Fatal(err)
+		}
+		in := fmt.Sprintf("data/src%d", i)
+		repo.Insert(&core.Entry{
+			Plan:          core.SigOf(wf.Jobs[0].Plan),
+			OutputPath:    out,
+			InputVersions: map[string]int64{in: fs.Version(in)},
+			Stats:         core.EntryStats{InputSimBytes: int64(1000 + i), OutputSimBytes: 100},
+		})
+	}
+	return sys
+}
+
+// BenchmarkWarmRepeat measures the steady-state per-query cost of a
+// repeated PigMix query against 1k- and 10k-entry repositories, batch
+// cache on and off. The CI artifact tracks two curves: cache-on must
+// beat cache-off at every size (the decode is paid once, not per run),
+// and the 1k→10k growth must stay ~flat (submit-path overhead does not
+// scale with repository size). The hit-ratio metric lands in
+// BENCH_<sha>.json via the custom-unit column.
+func BenchmarkWarmRepeat(b *testing.B) {
+	q, err := pigmix.Get("L2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1000, 10000} {
+		for _, mode := range []struct {
+			name string
+			off  bool
+		}{{"cache", false}, {"nocache", true}} {
+			b.Run(fmt.Sprintf("%s/%d", mode.name, n), func(b *testing.B) {
+				sys := warmRepeatSystem(b, n, mode.off)
+				if _, err := sys.Execute(q.Script); err != nil { // warm-up
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sys.Execute(q.Script); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				bc := sys.BatchCacheStats()
+				b.ReportMetric(bc.HitRatio(), "hit-ratio")
+			})
+		}
+	}
+}
+
+// BenchmarkSubmitHash compares the lease-name hash on the submit path —
+// the two-seed rapidhash-style tuple.Hash64 — against the sha256 digest
+// it replaced, over a realistic fingerprint string. Every submission
+// names one claim lease per job, so this cost is paid on the critical
+// path of warm repeats.
+func BenchmarkSubmitHash(b *testing.B) {
+	fp := "J1|load(page_views)>filter(a>100)>group(b)>foreach(group,COUNT)|R3|store(tmp/q1/out)"
+	b.Run("hash64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = tuple.Hash64(fp, 0)
+			_ = tuple.Hash64(fp, 1)
+		}
+	})
+	b.Run("sha256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = sha256.Sum256([]byte(fp))
+		}
+	})
 }

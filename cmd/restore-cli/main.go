@@ -75,6 +75,8 @@ func main() {
 		timeoutFlag  = flag.Duration("timeout", 0, "per-run deadline; a run exceeding it is cancelled (0 = none)")
 		tagFlag      = flag.String("tag", "", "label attached to each submitted query")
 		budgetFlag   = flag.Int64("max-repo-mb", 0, "repository storage budget in MB (0 = unbounded)")
+		batchMBFlag  = flag.Int64("batch-cache-mb", 0, "decoded-dataset batch cache budget in MB (0 = default 256, negative = off)")
+		noBatchCache = flag.Bool("no-batch-cache", false, "bypass the batch cache for these runs (differential escape hatch)")
 		evictFlag    = flag.String("evict", "cost-benefit", "eviction policy under the budget: reuse-window, lru, cost-benefit")
 		windowFlag   = flag.Duration("evict-window", time.Hour, "idle window of the reuse-window policy (simulated time)")
 		janitorFlag  = flag.Duration("janitor", 0, "background storage-janitor sweep interval (0 = off)")
@@ -132,6 +134,11 @@ func main() {
 	cfg := restore.DefaultConfig()
 	cfg.MaxClusterJobs = *maxJobsFlag
 	cfg.MaxRepositoryBytes = *budgetFlag << 20
+	if *batchMBFlag < 0 {
+		cfg.MaxCachedBatchBytes = -1
+	} else {
+		cfg.MaxCachedBatchBytes = *batchMBFlag << 20
+	}
 	if policy, ok := core.ParseEvictionPolicy(*evictFlag, *windowFlag); ok {
 		cfg.Eviction = policy
 	} else {
@@ -189,10 +196,11 @@ func main() {
 	// could each pass their own.
 	execOpts := []restore.ExecOption{
 		restore.WithOptions(restore.Options{
-			Reuse:         *reuseFlag,
-			Heuristic:     heur,
-			KeepWholeJobs: *wholeFlag,
-			LinearMatch:   *linearFlag,
+			Reuse:             *reuseFlag,
+			Heuristic:         heur,
+			KeepWholeJobs:     *wholeFlag,
+			LinearMatch:       *linearFlag,
+			DisableBatchCache: *noBatchCache,
 		}),
 		restore.WithWorkers(*workerFlag),
 	}
@@ -266,6 +274,13 @@ func main() {
 			ms.Probes, ms.Candidates, ms.Scans, ms.ScanVisited,
 			ms.FullTraversals, ms.Matches, ms.NegativeHits, ms.SharedNegHits,
 			ms.IndexEntries, ms.IndexSignatures)
+	}
+	bc := sys.BatchCacheStats()
+	if bc.Hits+bc.Misses > 0 {
+		fmt.Printf("batch cache: %d hits / %d misses (%.0f%% hit ratio), %.1f MB resident of %.1f MB budget, %d evictions, %d invalidations, %d partition replays\n",
+			bc.Hits, bc.Misses, 100*bc.HitRatio(),
+			float64(bc.UsedBytes)/(1<<20), float64(bc.BudgetBytes)/(1<<20),
+			bc.Evictions, bc.Invalidations, bc.PartitionReplays)
 	}
 	if *durableFlag {
 		ds := sys.DurabilityStats()

@@ -166,6 +166,7 @@ func main() {
 
 	report := buildReport(*addrFlag, *sessionsFlag, *queriesFlag, *skewFlag,
 		names, sessionCount, outcomes, wall)
+	scrapeBatchCache(ctx, client, *addrFlag, report)
 	art := &exp.BenchArtifact{SHA: sha, GeneratedAt: time.Now().UTC(), Load: report}
 	if *gobenchFlag != "" {
 		f, err := os.Open(*gobenchFlag)
@@ -194,6 +195,10 @@ func main() {
 	fmt.Printf("restore-load: latency p50 %.1fms p95 %.1fms p99 %.1fms; reuse-hit %.2f (%d/%d queries)\n",
 		report.LatencyP50Ms, report.LatencyP95Ms, report.LatencyP99Ms,
 		report.ReuseHitRatio, report.QueriesWithReuse, report.Completed)
+	if report.BatchCacheHits+report.BatchCacheMisses > 0 {
+		fmt.Printf("restore-load: batch cache %d hits / %d misses (%.2f hit ratio)\n",
+			report.BatchCacheHits, report.BatchCacheMisses, report.BatchCacheHitRatio)
+	}
 	for name, tl := range report.PerTenant {
 		fmt.Printf("restore-load:   %s: %d completed, %d rejected, p50 %.1fms, %d queries with reuse\n",
 			name, tl.Completed, tl.Rejected, tl.LatencyP50Ms, tl.QueriesWithReuse)
@@ -244,6 +249,38 @@ func parseTenants(spec string) ([]string, error) {
 		return nil, fmt.Errorf("empty -tenants")
 	}
 	return out, nil
+}
+
+// scrapeBatchCache folds the server's decoded-dataset cache counters
+// from /metrics into the report; a scrape failure leaves them zero
+// (the report stays usable without the warm-path columns).
+func scrapeBatchCache(ctx context.Context, c *http.Client, addr string, rep *exp.LoadReport) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/metrics", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var doc struct {
+		BatchCache struct {
+			Hits   int64
+			Misses int64
+		} `json:"batchCache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return
+	}
+	rep.BatchCacheHits = doc.BatchCache.Hits
+	rep.BatchCacheMisses = doc.BatchCache.Misses
+	if total := doc.BatchCache.Hits + doc.BatchCache.Misses; total > 0 {
+		rep.BatchCacheHitRatio = float64(doc.BatchCache.Hits) / float64(total)
+	}
 }
 
 func openSession(ctx context.Context, c *http.Client, addr, tenant string) (string, error) {

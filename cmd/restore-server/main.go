@@ -94,6 +94,7 @@ func main() {
 		workerFlag   = flag.Int("workers", 0, "concurrent jobs per workflow DAG (0 = NumCPU)")
 		maxJobsFlag  = flag.Int("max-cluster-jobs", 0, "global cap on jobs running across all queries (0 = unlimited)")
 		budgetFlag   = flag.Int64("max-repo-mb", 0, "repository storage budget in MB (0 = unbounded)")
+		batchMBFlag  = flag.Int64("batch-cache-mb", 0, "decoded-dataset batch cache budget in MB (0 = default 256, negative = off)")
 		evictFlag    = flag.String("evict", "cost-benefit", "eviction policy under the budget: reuse-window, lru, cost-benefit")
 		windowFlag   = flag.Duration("evict-window", time.Hour, "idle window of the reuse-window policy (simulated time)")
 		janitorFlag  = flag.Duration("janitor", 0, "background storage-janitor sweep interval (0 = off)")
@@ -128,6 +129,11 @@ func main() {
 	cfg := restore.DefaultConfig()
 	cfg.MaxClusterJobs = *maxJobsFlag
 	cfg.MaxRepositoryBytes = *budgetFlag << 20
+	if *batchMBFlag < 0 {
+		cfg.MaxCachedBatchBytes = -1
+	} else {
+		cfg.MaxCachedBatchBytes = *batchMBFlag << 20
+	}
 	if policy, ok := core.ParseEvictionPolicy(*evictFlag, *windowFlag); ok {
 		cfg.Eviction = policy
 	} else {

@@ -134,6 +134,12 @@ type Options struct {
 	// flag exists for that suite, the matcher-scaling experiment, and
 	// as an escape hatch. Default off: matching is indexed.
 	LinearMatch bool
+	// DisableBatchCache makes this execution's jobs bypass the engine's
+	// decoded-dataset cache: inputs decode from the DFS and outputs are
+	// not written through. Outputs and simulated times are identical
+	// either way (differential-tested); the flag exists for that suite
+	// and as a per-query escape hatch.
+	DisableBatchCache bool
 }
 
 // storesAnything reports whether this configuration writes repository
@@ -591,8 +597,11 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 
 		candidates := append(existing, enum.Inject(job, injectable)...)
 
-		stats, err := eng.RunContextObserved(ctx, job, func(done, total int, sim time.Duration) {
-			progress(job.ID, done, total, sim)
+		stats, err := eng.RunContextOpts(ctx, job, mapreduce.RunOptions{
+			Progress: func(done, total int, sim time.Duration) {
+				progress(job.ID, done, total, sim)
+			},
+			DisableBatchCache: opts.DisableBatchCache,
 		})
 		if err != nil {
 			abortHeld()

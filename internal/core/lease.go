@@ -3,14 +3,14 @@ package core
 import (
 	"bytes"
 	"context"
-	"crypto/sha256"
 	"encoding/gob"
-	"encoding/hex"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/dfs"
+	"repro/internal/tuple"
 )
 
 // LeaseManager materializes claims as TTL'd lease records in a DFS
@@ -105,10 +105,15 @@ type leaseRecord struct {
 }
 
 // leasePath maps a plan fingerprint (which contains path-hostile
-// characters) to its lock file.
+// characters) to its lock file. Two independently seeded 64-bit fast
+// hashes give a 128-bit name: leases are taken on every submit, and
+// tuple.Hash64 is an order of magnitude cheaper than the sha256 this
+// replaced while staying deterministic across processes — which the
+// shared-DFS lock namespace requires.
 func (lm *LeaseManager) leasePath(fp string) string {
-	sum := sha256.Sum256([]byte(fp))
-	return lm.root + "/" + hex.EncodeToString(sum[:12])
+	h1 := tuple.Hash64(fp, 0)
+	h2 := tuple.Hash64(fp, 1)
+	return fmt.Sprintf("%s/%016x%016x", lm.root, h1, h2)
 }
 
 // TryAcquire attempts to take the fingerprint's lease: it succeeds when

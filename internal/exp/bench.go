@@ -78,6 +78,14 @@ type LoadReport struct {
 	QueriesWithReuse int64   `json:"queriesWithReuse"`
 	ReuseHitRatio    float64 `json:"reuseHitRatio"`
 
+	// Batch-cache accounting scraped from the server's /metrics after
+	// the run: decoded-dataset cache hits and misses across every job
+	// the load executed, and their ratio. Zero when the harness could
+	// not scrape the server or the cache is disabled.
+	BatchCacheHits     int64   `json:"batchCacheHits"`
+	BatchCacheMisses   int64   `json:"batchCacheMisses"`
+	BatchCacheHitRatio float64 `json:"batchCacheHitRatio"`
+
 	// PerTenant breaks the traffic down by tenant.
 	PerTenant map[string]*TenantLoad `json:"perTenant,omitempty"`
 }

@@ -1,0 +1,215 @@
+package mapreduce
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dfs"
+	"repro/internal/tuple"
+)
+
+// DefaultMaxCachedBatchBytes is the decoded-dataset cache budget when
+// the configuration leaves MaxCachedBatchBytes zero.
+const DefaultMaxCachedBatchBytes int64 = 256 << 20
+
+// BatchCache is the engine's decoded-dataset cache: each entry holds
+// one dataset's part files as columnar tuple.Batch vectors, keyed by
+// dataset path and stamped with the dataset's DFS version at decode
+// time. Invalidation rides the same version bumps that drive
+// Repository.Valid — any write, delete, or rename under a dataset moves
+// its version, so a stale entry simply stops matching and is dropped on
+// its next lookup. The cache therefore works identically over the
+// in-memory and on-disk DFS backends, and write-through entries from
+// one query feed cache hits in every other query of the System.
+//
+// Entries are evicted least-recently-used under the byte budget (a
+// reuse refreshes recency, so hot repository outputs stay resident
+// while one-shot temporaries age out). All methods are safe for
+// concurrent use.
+type BatchCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits, misses        int64
+	hitBytes, missBytes int64
+	inserts, evictions  int64
+	evictedBytes        int64
+	invalidations       int64
+	partRecs, partPlays atomic.Int64
+}
+
+// cachedDataset is one decoded dataset: its part files in fs.List
+// order, each as a columnar batch, plus any shuffle-partition
+// recordings made over it (see runMapTask).
+type cachedDataset struct {
+	path    string
+	version int64
+	files   []string
+	batches []*tuple.Batch
+	mem     int64 // sum of batch MemBytes
+	src     int64 // sum of batch SrcBytes (DFS reads saved per hit)
+
+	mu    sync.Mutex
+	parts map[string][]int32
+}
+
+// NewBatchCache returns a cache bounded to budget bytes of decoded
+// batches (<=0 selects DefaultMaxCachedBatchBytes).
+func NewBatchCache(budget int64) *BatchCache {
+	if budget <= 0 {
+		budget = DefaultMaxCachedBatchBytes
+	}
+	return &BatchCache{
+		budget:  budget,
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+	}
+}
+
+// Get returns the cached decode of the dataset at path when its stamped
+// version still matches the DFS, refreshing its recency. A version
+// mismatch drops the stale entry and counts an invalidation; both that
+// and a plain absence count a miss.
+func (c *BatchCache) Get(fs dfs.Backend, path string) *cachedDataset {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.entries[path]
+	if el == nil {
+		c.misses++
+		return nil
+	}
+	ds := el.Value.(*cachedDataset)
+	if fs.Version(path) != ds.version {
+		c.removeLocked(el)
+		c.invalidations++
+		c.misses++
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	c.hitBytes += ds.src
+	return ds
+}
+
+// Put inserts (or replaces) the dataset's decoded batches and evicts
+// from the cold end until the budget holds again. The newest entry
+// itself is never evicted by its own insert, so a single dataset larger
+// than the budget still caches (and is reclaimed by the next insert).
+func (c *BatchCache) Put(ds *cachedDataset) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el := c.entries[ds.path]; el != nil {
+		c.removeLocked(el)
+	}
+	el := c.lru.PushFront(ds)
+	c.entries[ds.path] = el
+	c.used += ds.mem
+	c.inserts++
+	for c.used > c.budget && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		if back == el {
+			break
+		}
+		victim := back.Value.(*cachedDataset)
+		c.removeLocked(back)
+		c.evictions++
+		c.evictedBytes += victim.mem
+	}
+}
+
+// noteMiss accounts the decode cost of a miss (bytes read from the
+// DFS while filling).
+func (c *BatchCache) noteMiss(srcBytes int64) {
+	c.mu.Lock()
+	c.missBytes += srcBytes
+	c.mu.Unlock()
+}
+
+func (c *BatchCache) removeLocked(el *list.Element) {
+	ds := el.Value.(*cachedDataset)
+	c.lru.Remove(el)
+	delete(c.entries, ds.path)
+	c.used -= ds.mem
+}
+
+// partitions returns the recorded shuffle partition sequence for key
+// and whether one exists (an empty recording is a valid sequence).
+func (ds *cachedDataset) partitions(key string) ([]int32, bool) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	p, ok := ds.parts[key]
+	return p, ok
+}
+
+// storePartitions records a shuffle partition sequence; the first
+// recording for a key wins (all recorders compute identical sequences).
+func (ds *cachedDataset) storePartitions(key string, parts []int32) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.parts == nil {
+		ds.parts = map[string][]int32{}
+	}
+	if _, ok := ds.parts[key]; !ok {
+		ds.parts[key] = parts
+	}
+}
+
+// BatchCacheStats is a point-in-time snapshot of the decoded-dataset
+// cache. HitBytes totals the DFS bytes hits avoided re-reading;
+// PartitionReplays counts map tasks that skipped re-partitioning by
+// replaying a recorded shuffle placement.
+type BatchCacheStats struct {
+	Entries     int
+	UsedBytes   int64
+	BudgetBytes int64
+
+	Hits      int64
+	Misses    int64
+	HitBytes  int64
+	MissBytes int64
+
+	Inserts       int64
+	Evictions     int64
+	EvictedBytes  int64
+	Invalidations int64
+
+	PartitionRecords int64
+	PartitionReplays int64
+}
+
+// HitRatio is Hits over all lookups (0 before any lookup).
+func (s BatchCacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the cache counters.
+func (c *BatchCache) Stats() BatchCacheStats {
+	if c == nil {
+		return BatchCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return BatchCacheStats{
+		Entries:          len(c.entries),
+		UsedBytes:        c.used,
+		BudgetBytes:      c.budget,
+		Hits:             c.hits,
+		Misses:           c.misses,
+		HitBytes:         c.hitBytes,
+		MissBytes:        c.missBytes,
+		Inserts:          c.inserts,
+		Evictions:        c.evictions,
+		EvictedBytes:     c.evictedBytes,
+		Invalidations:    c.invalidations,
+		PartitionRecords: c.partRecs.Load(),
+		PartitionReplays: c.partPlays.Load(),
+	}
+}

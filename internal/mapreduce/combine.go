@@ -194,8 +194,8 @@ func newCombineAccumulator(spec *combineSpec, numRed int) *combineAccumulator {
 	return &combineAccumulator{spec: spec, parts: parts}
 }
 
-func (c *combineAccumulator) add(key tuple.Value, t tuple.Tuple, numRed int) {
-	p := int(tuple.Hash(key) % uint64(numRed))
+func (c *combineAccumulator) add(key tuple.Value, t tuple.Tuple, pt *partitioner) {
+	p := pt.next(key)
 	ks := tuple.ToString(key)
 	pk := c.parts[p][ks]
 	if pk == nil {
@@ -232,7 +232,7 @@ func (c *combineAccumulator) drain() [][]rec {
 			for _, st := range pk.states {
 				t = append(t, st.encode())
 			}
-			n := int64(len(tuple.EncodeText(t)) + len(ks) + 2)
+			n := int64(tuple.EncodeTextLen(t) + len(ks) + 2)
 			out[p] = append(out[p], rec{key: pk.key, t: t, bytes: n})
 		}
 	}

@@ -9,13 +9,11 @@
 package mapreduce
 
 import (
-	"bytes"
 	"context"
-	"errors"
 	"fmt"
-	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -45,6 +43,14 @@ type Config struct {
 	// driver's DAG scheduler and multiple client queries — share one
 	// pool of task slots instead of each oversubscribing the CPU.
 	Parallelism int
+	// MaxCachedBatchBytes bounds the decoded-dataset batch cache. Zero
+	// selects DefaultMaxCachedBatchBytes; a negative value disables the
+	// cache entirely.
+	MaxCachedBatchBytes int64
+	// Cache, when non-nil, is an existing batch cache to adopt instead
+	// of building a fresh one — New sets it, so rebuilding an engine
+	// from Config() (as SetScales does) keeps the warm cache.
+	Cache *BatchCache
 }
 
 // DefaultConfig mirrors the paper's testbed with no scale-up.
@@ -61,9 +67,10 @@ func DefaultConfig() Config {
 // each call keeps its state on its own stack, and real task goroutines
 // across all in-flight jobs share the engine-wide Parallelism slots.
 type Engine struct {
-	fs  dfs.Backend
-	cfg Config
-	sem chan struct{} // engine-wide task slots
+	fs    dfs.Backend
+	cfg   Config
+	sem   chan struct{} // engine-wide task slots
+	cache *BatchCache   // nil when MaxCachedBatchBytes < 0
 }
 
 // New returns an engine over fs.
@@ -83,7 +90,12 @@ func New(fs dfs.Backend, cfg Config) *Engine {
 	if cfg.Topology.Workers <= 0 {
 		cfg.Topology = cluster.DefaultTopology()
 	}
-	return &Engine{fs: fs, cfg: cfg, sem: make(chan struct{}, cfg.Parallelism)}
+	if cfg.MaxCachedBatchBytes < 0 {
+		cfg.Cache = nil
+	} else if cfg.Cache == nil {
+		cfg.Cache = NewBatchCache(cfg.MaxCachedBatchBytes)
+	}
+	return &Engine{fs: fs, cfg: cfg, sem: make(chan struct{}, cfg.Parallelism), cache: cfg.Cache}
 }
 
 // FS returns the engine's file system.
@@ -180,7 +192,28 @@ func (e *Engine) RunContext(ctx context.Context, job *physical.Job) (*JobStats, 
 // task, making long jobs observable through the query-handle Status
 // API.
 func (e *Engine) RunContextObserved(ctx context.Context, job *physical.Job, progress Progress) (*JobStats, error) {
+	return e.RunContextOpts(ctx, job, RunOptions{Progress: progress})
+}
+
+// RunOptions tunes one job execution.
+type RunOptions struct {
+	// Progress, when non-nil, observes task completions (see Progress).
+	Progress Progress
+	// DisableBatchCache bypasses the decoded-dataset cache for this run
+	// only: inputs are decoded from the DFS and outputs are not written
+	// through. Results are byte-identical either way; the flag exists
+	// for differential testing and per-query opt-out.
+	DisableBatchCache bool
+}
+
+// RunContextOpts is RunContext with per-run options.
+func (e *Engine) RunContextOpts(ctx context.Context, job *physical.Job, opts RunOptions) (*JobStats, error) {
 	start := time.Now()
+	progress := opts.Progress
+	cache := e.cache
+	if opts.DisableBatchCache {
+		cache = nil
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("mapreduce: job %s: %w", job.ID, err)
 	}
@@ -191,7 +224,7 @@ func (e *Engine) RunContextObserved(ctx context.Context, job *physical.Job, prog
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: job %s: %w", job.ID, err)
 	}
-	splits, err := e.makeSplits(job.Plan)
+	splits, err := e.makeSplits(job.Plan, cache)
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: job %s: %w", job.ID, err)
 	}
@@ -221,7 +254,12 @@ func (e *Engine) RunContextObserved(ctx context.Context, job *physical.Job, prog
 		tracker = &progressTracker{fn: progress, total: len(splits) + numRed}
 	}
 
-	mapResults, err := e.runMapPhase(ctx, job, seg, splits, numRed, stats, tracker)
+	var shufSig string
+	if seg.shuffle != nil && cache != nil {
+		shufSig = mapSegmentSig(seg, numRed)
+	}
+
+	mapResults, err := e.runMapPhase(ctx, job, seg, splits, numRed, stats, tracker, shufSig, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -229,11 +267,21 @@ func (e *Engine) RunContextObserved(ctx context.Context, job *physical.Job, prog
 	for _, mr := range mapResults {
 		mapTimes = append(mapTimes, e.cfg.Cost.TaskTime(mr.work))
 	}
+	var redWrites []writtenPart
 	if seg.shuffle != nil {
-		redTimes, err = e.runReducePhase(ctx, job, seg, mapResults, numRed, stats, tracker)
+		redTimes, redWrites, err = e.runReducePhase(ctx, job, seg, mapResults, numRed, stats, tracker, cache != nil)
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	if cache != nil {
+		var written []writtenPart
+		for i := range mapResults {
+			written = append(written, mapResults[i].writes...)
+		}
+		written = append(written, redWrites...)
+		e.writeThrough(cache, written)
 	}
 
 	stats.MapTasks = len(mapResults)
@@ -334,76 +382,179 @@ func segments(p *physical.Plan) (*segmentation, error) {
 	return s, nil
 }
 
-// split is one map task's input slice.
+// split is one map task's input slice: rows [lo, hi) of one part
+// file's columnar batch.
 type split struct {
 	loadID int
-	tuples []tuple.Tuple
-	bytes  int64 // actual bytes
+	file   string
+	batch  *tuple.Batch
+	lo, hi int
+	bytes  int64 // actual bytes attributed to this slice
+	// ds is the cache entry the batch belongs to (nil when the run
+	// bypasses the cache); it carries shuffle partition recordings.
+	ds *cachedDataset
 }
 
-// makeSplits reads every Load's part files and slices them into map
-// inputs of roughly SplitSize simulated bytes.
-func (e *Engine) makeSplits(p *physical.Plan) ([]split, error) {
+// loadDataset decodes every part file of the dataset at path into
+// columnar batches, serving from (and filling) cache when enabled. The
+// version stamp is taken before the reads and re-checked before
+// publishing, so a concurrent writer can only cause a skipped insert,
+// never a stale entry.
+func (e *Engine) loadDataset(path string, cache *BatchCache) (*cachedDataset, error) {
+	if cache != nil {
+		if ds := cache.Get(e.fs, path); ds != nil {
+			return ds, nil
+		}
+	}
+	v0 := e.fs.Version(path)
+	files := e.fs.List(path)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("input %q does not exist", path)
+	}
+	ds := &cachedDataset{path: path, version: v0, files: files}
+	for _, f := range files {
+		data, err := e.fs.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		b, err := tuple.DecodeTextBatch(data)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", f, err)
+		}
+		ds.batches = append(ds.batches, b)
+		ds.mem += b.MemBytes()
+		ds.src += b.SrcBytes()
+	}
+	if cache != nil {
+		cache.noteMiss(ds.src)
+		if e.fs.Version(path) == v0 {
+			cache.Put(ds)
+		}
+	}
+	return ds, nil
+}
+
+// readAll decodes a part file's rows as a flat slice.
+func readAll(data []byte) ([]tuple.Tuple, error) {
+	b, err := tuple.DecodeTextBatch(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]tuple.Tuple, b.Len())
+	for i := range out {
+		out[i] = b.Row(i)
+	}
+	return out, nil
+}
+
+// makeSplits decodes every Load's part files (through the batch cache
+// when enabled) and slices them into map inputs of roughly SplitSize
+// simulated bytes. Split sizing works from each batch's source byte
+// length, so cached and uncached runs produce identical splits — and
+// therefore identical task counts, costs, and outputs.
+func (e *Engine) makeSplits(p *physical.Plan, cache *BatchCache) ([]split, error) {
 	var out []split
 	for _, op := range p.Ops() {
 		if op.Kind != physical.KLoad {
 			continue
 		}
-		files := e.fs.List(op.Path)
-		if len(files) == 0 {
-			return nil, fmt.Errorf("input %q does not exist", op.Path)
+		ds, err := e.loadDataset(op.Path, cache)
+		if err != nil {
+			return nil, err
 		}
-		for _, f := range files {
-			data, err := e.fs.ReadFile(f)
-			if err != nil {
-				return nil, err
-			}
-			tuples, err := readAll(data)
-			if err != nil {
-				return nil, fmt.Errorf("reading %s: %w", f, err)
-			}
-			actualBytes := int64(len(data))
+		for fi, b := range ds.batches {
+			actualBytes := b.SrcBytes()
+			nrows := b.Len()
 			simBytes := int64(float64(actualBytes) * e.cfg.SimScale)
 			n := int((simBytes + e.cfg.SplitSize - 1) / e.cfg.SplitSize)
 			if n < 1 {
 				n = 1
 			}
-			if n > len(tuples) && len(tuples) > 0 {
-				n = len(tuples)
+			if n > nrows && nrows > 0 {
+				n = nrows
 			}
-			if len(tuples) == 0 {
+			if nrows == 0 {
 				out = append(out, split{loadID: op.ID, bytes: actualBytes})
 				continue
 			}
-			per := (len(tuples) + n - 1) / n
-			for i := 0; i < len(tuples); i += per {
+			per := (nrows + n - 1) / n
+			for i := 0; i < nrows; i += per {
 				j := i + per
-				if j > len(tuples) {
-					j = len(tuples)
+				if j > nrows {
+					j = nrows
 				}
-				chunk := tuples[i:j]
-				chunkBytes := actualBytes * int64(len(chunk)) / int64(len(tuples))
-				out = append(out, split{loadID: op.ID, tuples: chunk, bytes: chunkBytes})
+				chunkBytes := actualBytes * int64(j-i) / int64(nrows)
+				sp := split{loadID: op.ID, file: ds.files[fi], batch: b, lo: i, hi: j, bytes: chunkBytes}
+				if cache != nil {
+					sp.ds = ds
+				}
+				out = append(out, sp)
 			}
 		}
 	}
 	return out, nil
 }
 
-func readAll(data []byte) ([]tuple.Tuple, error) {
-	r := tuple.NewReader(bytes.NewReader(data))
-	var out []tuple.Tuple
-	for {
-		t, err := r.Read()
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				return out, nil
-			}
-			return nil, err
+// mapSegmentSig fingerprints the map segment's structure — every
+// map-side op's identity, signature, and wiring, plus the reducer
+// count. Two runs with equal signatures over the same split emit the
+// same keyed sequence, which is what makes shuffle partition replay
+// sound (see partitioner).
+func mapSegmentSig(seg *segmentation, numRed int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "R%d", numRed)
+	for _, op := range seg.plan.Ops() {
+		if !seg.inMap[op.ID] {
+			continue
 		}
-		out = append(out, t)
+		fmt.Fprintf(&b, ";%d:%s<-%v", op.ID, op.Signature(), op.InputIDs)
+	}
+	return b.String()
+}
+
+// writeThrough populates the cache with the datasets a finished job
+// just wrote. Parts are grouped per Store directory and sorted by file
+// name — the same lexicographic order fs.List returns — and stamped
+// with the directory's post-write version, so the entry is exactly
+// what a fresh decode of the dataset would produce.
+func (e *Engine) writeThrough(cache *BatchCache, parts []writtenPart) {
+	byDir := map[string][]writtenPart{}
+	for _, wp := range parts {
+		byDir[wp.dir] = append(byDir[wp.dir], wp)
+	}
+	for dir, ps := range byDir {
+		sort.Slice(ps, func(i, j int) bool { return ps[i].file < ps[j].file })
+		ds := &cachedDataset{path: dir, version: e.fs.Version(dir)}
+		for _, wp := range ps {
+			ds.files = append(ds.files, wp.file)
+			ds.batches = append(ds.batches, wp.batch)
+			ds.mem += wp.batch.MemBytes()
+			ds.src += wp.batch.SrcBytes()
+		}
+		// Publish only when the captured parts are exactly the dataset's
+		// files on the DFS — a dropped capture or an unrelated writer
+		// would otherwise cache an incomplete view.
+		if !equalStrings(ds.files, e.fs.List(dir)) {
+			continue
+		}
+		cache.Put(ds)
 	}
 }
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CacheStats snapshots the engine's decoded-dataset cache counters.
+func (e *Engine) CacheStats() BatchCacheStats { return e.cache.Stats() }
 
 // mapResult carries one map task's shuffle output and cost accounting.
 type mapResult struct {
@@ -411,9 +562,72 @@ type mapResult struct {
 	work    cluster.TaskWork
 	outs    map[string]OutputStat
 	records int64
+	writes  []writtenPart // part files for cache write-through
 }
 
-func (e *Engine) runMapPhase(ctx context.Context, job *physical.Job, seg *segmentation, splits []split, numRed int, stats *JobStats, tracker *progressTracker) ([]mapResult, error) {
+// partitioner assigns shuffle partitions for one map task. On a warm
+// split from the cache it replays the partition sequence a previous
+// identical task recorded — skipping the per-record key hash — and
+// falls back to live hashing past the end of a recording, so replay is
+// an optimization, never a correctness dependency. Recordings key on
+// the map-segment signature plus the exact split, and live on the
+// cache entry, so a dataset version bump drops them with the batches.
+type partitioner struct {
+	numRed   int
+	ds       *cachedDataset
+	cache    *BatchCache
+	key      string
+	replay   []int32
+	ri       int
+	record   bool
+	recorded []int32
+	replayed bool
+}
+
+func newPartitioner(sp split, shufSig string, numRed int, cache *BatchCache) *partitioner {
+	pt := &partitioner{numRed: numRed}
+	if numRed <= 0 || cache == nil || sp.ds == nil || shufSig == "" {
+		return pt
+	}
+	pt.ds = sp.ds
+	pt.cache = cache
+	pt.key = fmt.Sprintf("%s|%s|%d:%d", shufSig, sp.file, sp.lo, sp.hi)
+	var ok bool
+	pt.replay, ok = sp.ds.partitions(pt.key)
+	pt.record = !ok
+	return pt
+}
+
+func (pt *partitioner) next(key tuple.Value) int {
+	if pt.ri < len(pt.replay) {
+		p := int(pt.replay[pt.ri])
+		pt.ri++
+		pt.replayed = true
+		return p
+	}
+	p := int(tuple.Hash(key) % uint64(pt.numRed))
+	if pt.record {
+		pt.recorded = append(pt.recorded, int32(p))
+	}
+	return p
+}
+
+// finish publishes the recording after the task's emissions completed
+// without error.
+func (pt *partitioner) finish() {
+	if pt.record && pt.ds != nil {
+		if pt.recorded == nil {
+			pt.recorded = []int32{}
+		}
+		pt.ds.storePartitions(pt.key, pt.recorded)
+		pt.cache.partRecs.Add(1)
+	}
+	if pt.replayed {
+		pt.cache.partPlays.Add(1)
+	}
+}
+
+func (e *Engine) runMapPhase(ctx context.Context, job *physical.Job, seg *segmentation, splits []split, numRed int, stats *JobStats, tracker *progressTracker, shufSig string, cache *BatchCache) ([]mapResult, error) {
 	results := make([]mapResult, len(splits))
 	errs := make([]error, len(splits))
 	var wg sync.WaitGroup
@@ -428,7 +642,7 @@ func (e *Engine) runMapPhase(ctx context.Context, job *physical.Job, seg *segmen
 				return
 			}
 			defer func() { <-e.sem }()
-			results[idx], errs[idx] = e.runMapTask(job, seg, splits[idx], idx, numRed)
+			results[idx], errs[idx] = e.runMapTask(job, seg, splits[idx], idx, numRed, shufSig, cache)
 			if errs[idx] == nil {
 				tracker.tick(e.cfg.Cost.TaskTime(results[idx].work))
 			}
@@ -458,20 +672,22 @@ func mergeOutputs(dst map[string]OutputStat, src map[string]OutputStat) {
 	}
 }
 
-func (e *Engine) runMapTask(job *physical.Job, seg *segmentation, sp split, taskIdx, numRed int) (mapResult, error) {
+func (e *Engine) runMapTask(job *physical.Job, seg *segmentation, sp split, taskIdx, numRed int, shufSig string, cache *BatchCache) (mapResult, error) {
 	mr := mapResult{outs: map[string]OutputStat{}}
 	if numRed > 0 {
 		mr.parts = make([][]rec, numRed)
 	}
 	px := newExec(seg.plan, seg.succ, seg.inMap)
 	px.suffix = fmt.Sprintf("part-m-%05d", taskIdx)
+	px.capture = cache != nil
+	pt := newPartitioner(sp, shufSig, numRed, cache)
 	var acc *combineAccumulator
 	switch {
 	case seg.combine != nil:
 		// Algebraic combiner: pre-aggregate per key in the map task.
 		acc = newCombineAccumulator(seg.combine, numRed)
 		px.keyed = func(branch int, key tuple.Value, t tuple.Tuple) {
-			acc.add(key, t, numRed)
+			acc.add(key, t, pt)
 		}
 	case seg.pkg != nil && seg.pkg.Mode == physical.PkgDistinct:
 		// Map-side duplicate elimination (Pig's distinct combiner).
@@ -480,7 +696,7 @@ func (e *Engine) runMapTask(job *physical.Job, seg *segmentation, sp split, task
 			seen[i] = map[string]bool{}
 		}
 		px.keyed = func(branch int, key tuple.Value, t tuple.Tuple) {
-			p := int(tuple.Hash(key) % uint64(numRed))
+			p := pt.next(key)
 			ks := tuple.ToString(key)
 			if seen[p][ks] {
 				return
@@ -493,22 +709,24 @@ func (e *Engine) runMapTask(job *physical.Job, seg *segmentation, sp split, task
 		px.keyed = func(branch int, key tuple.Value, t tuple.Tuple) {
 			// Shuffle volume accounting approximates Pig's compact
 			// serialization with the text width of value plus key.
-			n := int64(len(tuple.EncodeText(t)) + len(tuple.ToString(key)) + 2)
+			n := int64(tuple.EncodeTextLen(t) + tuple.TextLen(key) + 2)
 			r := rec{key: key, branch: branch, t: t, bytes: n}
-			p := int(tuple.Hash(key) % uint64(numRed))
+			p := pt.next(key)
 			mr.parts[p] = append(mr.parts[p], r)
 		}
 	}
 
-	for _, t := range sp.tuples {
+	for i := sp.lo; i < sp.hi; i++ {
 		mr.records++
-		if err := px.push(sp.loadID, t); err != nil {
+		if err := px.push(sp.loadID, sp.batch.Row(i)); err != nil {
 			return mr, err
 		}
 	}
+	pt.finish()
 	if err := px.close(e.fs, e.cfg.SimScale, mr.outs); err != nil {
 		return mr, err
 	}
+	mr.writes = px.writtenParts()
 	if acc != nil {
 		mr.parts = acc.drain()
 	}
@@ -536,10 +754,11 @@ func (e *Engine) runMapTask(job *physical.Job, seg *segmentation, sp split, task
 	return mr, nil
 }
 
-func (e *Engine) runReducePhase(ctx context.Context, job *physical.Job, seg *segmentation, mapResults []mapResult, numRed int, stats *JobStats, tracker *progressTracker) ([]time.Duration, error) {
+func (e *Engine) runReducePhase(ctx context.Context, job *physical.Job, seg *segmentation, mapResults []mapResult, numRed int, stats *JobStats, tracker *progressTracker, capture bool) ([]time.Duration, []writtenPart, error) {
 	times := make([]time.Duration, numRed)
 	errs := make([]error, numRed)
 	outs := make([]map[string]OutputStat, numRed)
+	writes := make([][]writtenPart, numRed)
 	shuffleIn := make([]int64, numRed)
 	var wg sync.WaitGroup
 	for r := 0; r < numRed; r++ {
@@ -558,23 +777,25 @@ func (e *Engine) runReducePhase(ctx context.Context, job *physical.Job, seg *seg
 				recs = append(recs, mr.parts[r]...)
 			}
 			outs[r] = map[string]OutputStat{}
-			times[r], shuffleIn[r], errs[r] = e.runReduceTask(seg, recs, r, outs[r])
+			times[r], shuffleIn[r], writes[r], errs[r] = e.runReduceTask(seg, recs, r, outs[r], capture)
 			if errs[r] == nil {
 				tracker.tick(times[r])
 			}
 		}(r)
 	}
 	wg.Wait()
+	var allWrites []writtenPart
 	for r := 0; r < numRed; r++ {
 		if errs[r] != nil {
-			return nil, fmt.Errorf("mapreduce: job %s reduce %d: %w", job.ID, r, errs[r])
+			return nil, nil, fmt.Errorf("mapreduce: job %s reduce %d: %w", job.ID, r, errs[r])
 		}
 		mergeOutputs(stats.Outputs, outs[r])
+		allWrites = append(allWrites, writes[r]...)
 	}
-	return times, nil
+	return times, allWrites, nil
 }
 
-func (e *Engine) runReduceTask(seg *segmentation, recs []rec, taskIdx int, outStats map[string]OutputStat) (time.Duration, int64, error) {
+func (e *Engine) runReduceTask(seg *segmentation, recs []rec, taskIdx int, outStats map[string]OutputStat, capture bool) (time.Duration, int64, []writtenPart, error) {
 	// Sort by key (respecting ORDER BY direction), then branch, stable.
 	desc := seg.pkg.Desc
 	sort.SliceStable(recs, func(i, j int) bool {
@@ -587,6 +808,7 @@ func (e *Engine) runReduceTask(seg *segmentation, recs []rec, taskIdx int, outSt
 
 	px := newExec(seg.plan, seg.succ, nil)
 	px.suffix = fmt.Sprintf("part-r-%05d", taskIdx)
+	px.capture = capture
 
 	var shuffleBytes int64
 	for _, r := range recs {
@@ -608,12 +830,12 @@ func (e *Engine) runReduceTask(seg *segmentation, recs []rec, taskIdx int, outSt
 			err = e.emitGroup(px, seg, group)
 		}
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, nil, err
 		}
 		i = j
 	}
 	if err := px.close(e.fs, e.cfg.SimScale, outStats); err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 
 	var storeBytes int64
@@ -629,7 +851,7 @@ func (e *Engine) runReduceTask(seg *segmentation, recs []rec, taskIdx int, outSt
 		SortRecords:  int64(float64(len(recs)) * e.cfg.RecordScale),
 		NumStores:    px.numStores,
 	}
-	return e.cfg.Cost.TaskTime(work), int64(float64(shuffleBytes) * scale), nil
+	return e.cfg.Cost.TaskTime(work), int64(float64(shuffleBytes) * scale), px.writtenParts(), nil
 }
 
 func compareKeys(a, b tuple.Value, desc []bool) int {

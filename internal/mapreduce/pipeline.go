@@ -1,7 +1,9 @@
 package mapreduce
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 
 	"repro/internal/dfs"
 	"repro/internal/expr"
@@ -27,6 +29,10 @@ type exec struct {
 	// suffix names this task's part files, e.g. "part-m-00003".
 	suffix string
 
+	// capture keeps a decoded batch of every part file this task
+	// writes, for cache write-through (see Engine.writeThrough).
+	capture bool
+
 	writers   map[int]*taskWriter // per Store op
 	limits    map[int]int64       // per Limit op counter
 	numStores int
@@ -36,6 +42,7 @@ type taskWriter struct {
 	path    string
 	rows    []tuple.Tuple
 	byteLen int64
+	batch   *tuple.Batch // decode of the written bytes, when capturing
 }
 
 func newExec(plan *physical.Plan, succ map[int][]int, inMap map[int]bool) *exec {
@@ -226,7 +233,13 @@ func (x *exec) close(fs dfs.Backend, simScale float64, outStats map[string]Outpu
 	}
 	for _, w := range x.writers {
 		f := fs.Create(w.path + "/" + x.suffix)
-		tw := tuple.NewWriter(f)
+		var out io.Writer = f
+		var buf *bytes.Buffer
+		if x.capture {
+			buf = &bytes.Buffer{}
+			out = io.MultiWriter(f, buf)
+		}
+		tw := tuple.NewWriter(out)
 		for _, t := range w.rows {
 			if err := tw.Write(t); err != nil {
 				return err
@@ -238,6 +251,15 @@ func (x *exec) close(fs dfs.Backend, simScale float64, outStats map[string]Outpu
 		if err := f.Close(); err != nil {
 			return err
 		}
+		if buf != nil {
+			// Decode the exact bytes that landed on the DFS, so the
+			// cached batch is indistinguishable from a later re-read
+			// (text round-trips can change value types, e.g. a float
+			// written as "5" re-reads as an int).
+			if b, err := tuple.DecodeTextBatch(buf.Bytes()); err == nil {
+				w.batch = b
+			}
+		}
 		w.byteLen = tw.Bytes()
 		cur := outStats[w.path]
 		cur.SimBytes += int64(float64(tw.Bytes()) * simScale)
@@ -245,6 +267,27 @@ func (x *exec) close(fs dfs.Backend, simScale float64, outStats map[string]Outpu
 		outStats[w.path] = cur
 	}
 	return nil
+}
+
+// writtenPart is one part file a task wrote, decoded for write-through.
+type writtenPart struct {
+	dir   string // the Store dataset directory
+	file  string // full part-file path
+	batch *tuple.Batch
+}
+
+// writtenParts returns the task's written part files with their
+// decoded batches; call after close. Parts without a captured batch
+// (capture off, or a decode failure) are skipped.
+func (x *exec) writtenParts() []writtenPart {
+	var out []writtenPart
+	for _, w := range x.writers {
+		if w.batch == nil {
+			continue
+		}
+		out = append(out, writtenPart{dir: w.path, file: w.path + "/" + x.suffix, batch: w.batch})
+	}
+	return out
 }
 
 func storeInReduce(p *physical.Plan, storeID int) bool {

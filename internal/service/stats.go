@@ -19,6 +19,9 @@ type StatsBundle struct {
 	Matcher    restore.MatcherStats    `json:"matcher"`
 	Durability restore.DurabilityStats `json:"durability"`
 	Leases     restore.LeaseStats      `json:"leases"`
+	// BatchCache snapshots the engine's decoded-dataset cache (the
+	// in-memory fast path); zero when the cache is disabled.
+	BatchCache restore.BatchCacheStats `json:"batchCache"`
 	// Service carries the serving front-end's per-tenant counters; nil
 	// when the bundle was taken from a System with no server in front
 	// (restore-cli).
@@ -33,6 +36,7 @@ func SystemStats(sys *restore.System) StatsBundle {
 		Matcher:    sys.MatcherStats(),
 		Durability: sys.DurabilityStats(),
 		Leases:     st.Leases,
+		BatchCache: sys.BatchCacheStats(),
 	}
 }
 

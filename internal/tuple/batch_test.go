@@ -1,0 +1,246 @@
+package tuple
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// batchRows is a mixed corpus: uniform typed rows, ragged widths,
+// nulls, type promotions, nested tuples/bags, and escape-needing
+// strings.
+func batchRows() []Tuple {
+	return []Tuple{
+		{int64(1), "alice", 3.5},
+		{int64(2), "bob", 4.25},
+		{int64(3), "carol\twith\ttabs", 0.125},
+		{nil, "dave", nil},
+		{int64(5)},
+		{int64(6), "eve", 1.0, "extra", int64(9)},
+		{int64(7), int64(42), 2.0}, // promotes column 1 int-after-string
+		{Tuple{int64(1), "x"}, &Bag{Tuples: []Tuple{{int64(2)}, {"y", nil}}}, math.Inf(1)},
+		{},
+		{"back\\slash", "new\nline", -0.0},
+	}
+}
+
+func TestBatchRoundTripRows(t *testing.T) {
+	rows := batchRows()
+	b := BatchOf(rows, 123)
+	if b.Len() != len(rows) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(rows))
+	}
+	if b.SrcBytes() != 123 {
+		t.Fatalf("SrcBytes = %d", b.SrcBytes())
+	}
+	for i, want := range rows {
+		got := b.Row(i)
+		if CompareTuples(got, want) != 0 {
+			t.Fatalf("row %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestBatchTextDecodeMatchesReader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range batchRows() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	b, err := DecodeTextBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SrcBytes() != int64(len(data)) {
+		t.Fatalf("SrcBytes = %d, want %d", b.SrcBytes(), len(data))
+	}
+	r := NewReader(bytes.NewReader(data))
+	i := 0
+	for {
+		want, err := r.Read()
+		if err != nil {
+			break
+		}
+		if i >= b.Len() {
+			t.Fatalf("batch has %d rows, reader yields more", b.Len())
+		}
+		if CompareTuples(b.Row(i), want) != 0 {
+			t.Fatalf("row %d: batch %v, reader %v", i, b.Row(i), want)
+		}
+		i++
+	}
+	if i != b.Len() {
+		t.Fatalf("batch has %d rows, reader yielded %d", b.Len(), i)
+	}
+}
+
+func TestBatchBinaryRoundTrip(t *testing.T) {
+	b := BatchOf(batchRows(), 4567)
+	enc := b.AppendBinary(nil)
+	got, used, err := DecodeBatchBinary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", used, len(enc))
+	}
+	if got.Len() != b.Len() || got.SrcBytes() != b.SrcBytes() {
+		t.Fatalf("shape mismatch: %d/%d rows, %d/%d srcBytes",
+			got.Len(), b.Len(), got.SrcBytes(), b.SrcBytes())
+	}
+	for i := 0; i < b.Len(); i++ {
+		if CompareTuples(got.Row(i), b.Row(i)) != 0 {
+			t.Fatalf("row %d: %v != %v", i, got.Row(i), b.Row(i))
+		}
+	}
+	if got.MemBytes() <= 0 {
+		t.Fatal("decoded batch reports no memory")
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	b := BatchOf(nil, 0)
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	enc := b.AppendBinary(nil)
+	got, _, err := DecodeBatchBinary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("decoded Len = %d", got.Len())
+	}
+	if eb, err := DecodeTextBatch(nil); err != nil || eb.Len() != 0 {
+		t.Fatalf("empty text decode: %v, %d rows", err, eb.Len())
+	}
+}
+
+func TestEncodeTextLenMatches(t *testing.T) {
+	cases := append(batchRows(),
+		Tuple{""},
+		Tuple{"", nil, ""},
+		Tuple{float64(1e300), float64(-1.5e-9), int64(math.MaxInt64), int64(math.MinInt64)},
+		Tuple{Tuple{}, &Bag{}},
+		Tuple{Tuple{Tuple{"\t", &Bag{Tuples: []Tuple{{"\n\\"}}}}}},
+		Tuple{strings.Repeat("\t\\\n", 7)},
+	)
+	for i, tc := range cases {
+		if got, want := EncodeTextLen(tc), len(EncodeText(tc)); got != want {
+			t.Errorf("case %d %v: EncodeTextLen = %d, len(EncodeText) = %d", i, tc, got, want)
+		}
+		for _, v := range tc {
+			if got, want := TextLen(v), len(ToString(v)); got != want {
+				t.Errorf("case %d value %v: TextLen = %d, len(ToString) = %d", i, v, got, want)
+			}
+		}
+	}
+}
+
+func TestHashEqualityProperties(t *testing.T) {
+	// Values that compare equal must hash equal, across int/float.
+	pairs := [][2]Value{
+		{int64(3), float64(3)},
+		{int64(0), float64(0)},
+		{int64(-7), float64(-7)},
+		{Tuple{int64(1), "a"}, Tuple{float64(1), "a"}},
+	}
+	for _, p := range pairs {
+		if Compare(p[0], p[1]) != 0 {
+			t.Fatalf("%v and %v should compare equal", p[0], p[1])
+		}
+		if Hash(p[0]) != Hash(p[1]) {
+			t.Errorf("Hash(%v) != Hash(%v)", p[0], p[1])
+		}
+	}
+	// Structurally distinct values should (overwhelmingly) differ.
+	distinct := []Value{
+		nil, int64(1), "1", float64(1.5), "1.5",
+		Tuple{int64(1)}, &Bag{Tuples: []Tuple{{int64(1)}}},
+		Tuple{}, &Bag{}, "", "a", "b", "ab", "ba",
+		Tuple{"a", "b"}, Tuple{"ab"}, Tuple{Tuple{"a"}, "b"},
+	}
+	seen := map[uint64]Value{}
+	for _, v := range distinct {
+		h := Hash(v)
+		if prev, dup := seen[h]; dup {
+			t.Errorf("collision: Hash(%v) == Hash(%v)", v, prev)
+		}
+		seen[h] = v
+	}
+}
+
+func TestHash64Determinism(t *testing.T) {
+	inputs := []string{"", "a", "abcdefg", "abcdefgh", "abcdefghi",
+		strings.Repeat("fingerprint", 50)}
+	for _, s := range inputs {
+		if Hash64(s, 1) != Hash64(s, 1) {
+			t.Fatalf("Hash64(%q) not deterministic", s)
+		}
+		if Hash64(s, 1) == Hash64(s, 2) && s != "" {
+			t.Errorf("seeds collide on %q", s)
+		}
+	}
+	if Hash64("abcdefgh", 0) == Hash64("abcdefgh\x00", 0) {
+		t.Error("length not mixed in")
+	}
+}
+
+func BenchmarkDecodeTextBatch(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 1000; i++ {
+		w.Write(Tuple{int64(i), "user" + string(rune('a'+i%26)), float64(i) * 1.5, "payload-string-of-some-width"})
+	}
+	w.Flush()
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeTextBatch(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchRowIterate(b *testing.B) {
+	rows := make([]Tuple, 1000)
+	for i := range rows {
+		rows[i] = Tuple{int64(i), "user", float64(i), "payload-string-of-some-width"}
+	}
+	batch := BatchOf(rows, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < batch.Len(); r++ {
+			if t := batch.Row(r); len(t) != 4 {
+				b.Fatal("bad row")
+			}
+		}
+	}
+}
+
+func BenchmarkEncodeTextLen(b *testing.B) {
+	t := Tuple{int64(12345), "some-user-name", 3.14159, Tuple{int64(1), "x"}, "trailing field"}
+	b.Run("len", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if EncodeTextLen(t) == 0 {
+				b.Fatal("zero")
+			}
+		}
+	})
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(EncodeText(t)) == 0 {
+				b.Fatal("zero")
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 	"strings"
 )
 
@@ -43,6 +44,79 @@ func escapeField(s string) string {
 		}
 	}
 	return b.String()
+}
+
+// EncodeTextLen returns len(EncodeText(t)) without materializing the
+// line. The engine accounts shuffle and spill volume by encoded text
+// width on every emitted record; building (and discarding) the string
+// for each just to measure it was a measurable allocation hot spot.
+func EncodeTextLen(t Tuple) int {
+	if len(t) == 0 {
+		return 0
+	}
+	n := len(t) - 1 // the joining tabs
+	for _, v := range t {
+		raw, esc := textLen(v)
+		n += raw + esc
+	}
+	return n
+}
+
+// TextLen returns len(ToString(v)) without materializing the string.
+func TextLen(v Value) int {
+	raw, _ := textLen(v)
+	return raw
+}
+
+// textLen returns the rendered length of ToString(v) and how many of
+// its bytes escapeField would double (tab, newline, backslash).
+func textLen(v Value) (raw, esc int) {
+	switch x := v.(type) {
+	case nil:
+		return 0, 0
+	case int64:
+		var buf [20]byte
+		return len(strconv.AppendInt(buf[:0], x, 10)), 0
+	case float64:
+		var buf [32]byte
+		return len(strconv.AppendFloat(buf[:0], x, 'g', -1, 64)), 0
+	case string:
+		return len(x), countEscapable(x)
+	case Tuple:
+		raw = 2 // ( )
+		if len(x) > 0 {
+			raw += len(x) - 1 // commas
+		}
+		for _, f := range x {
+			r, e := textLen(f)
+			raw += r
+			esc += e
+		}
+		return raw, esc
+	case *Bag:
+		raw = 2 // { }
+		if len(x.Tuples) > 0 {
+			raw += len(x.Tuples) - 1
+		}
+		for _, t := range x.Tuples {
+			r, e := textLen(t)
+			raw += r
+			esc += e
+		}
+		return raw, esc
+	}
+	panic(fmt.Sprintf("tuple: unsupported value type %T", v))
+}
+
+func countEscapable(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\t', '\n', '\\':
+			n++
+		}
+	}
+	return n
 }
 
 func unescapeField(s string) string {

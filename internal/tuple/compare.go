@@ -1,10 +1,5 @@
 package tuple
 
-import (
-	"hash/fnv"
-	"math"
-)
-
 // typeRank orders values of different dynamic types so that comparison is
 // a total order: null < numbers < strings < tuples < bags.
 func typeRank(v Value) int {
@@ -112,56 +107,4 @@ func sign(n int) int {
 		return 1
 	}
 	return 0
-}
-
-// Hash returns a 64-bit hash of v, consistent with Equal for the scalar
-// types (values that compare equal hash equally). The MapReduce engine
-// uses it to partition map output across reducers.
-func Hash(v Value) uint64 {
-	h := fnv.New64a()
-	hashInto(h, v)
-	return h.Sum64()
-}
-
-type hasher interface {
-	Write(p []byte) (int, error)
-}
-
-func hashInto(h hasher, v Value) {
-	var buf [9]byte
-	switch x := v.(type) {
-	case nil:
-		buf[0] = 0
-		h.Write(buf[:1])
-	case int64:
-		writeNumeric(h, float64(x))
-	case float64:
-		writeNumeric(h, x)
-	case string:
-		buf[0] = 2
-		h.Write(buf[:1])
-		h.Write([]byte(x))
-	case Tuple:
-		buf[0] = 3
-		h.Write(buf[:1])
-		for _, f := range x {
-			hashInto(h, f)
-		}
-	case *Bag:
-		buf[0] = 4
-		h.Write(buf[:1])
-		for _, t := range x.Tuples {
-			hashInto(h, t)
-		}
-	}
-}
-
-func writeNumeric(h hasher, f float64) {
-	var buf [9]byte
-	buf[0] = 1
-	bits := math.Float64bits(f)
-	for i := 0; i < 8; i++ {
-		buf[1+i] = byte(bits >> (8 * i))
-	}
-	h.Write(buf[:9])
 }

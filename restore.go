@@ -236,6 +236,10 @@ type (
 	DurabilityStats = core.DurabilityStats
 	// LeaseStats snapshots the cross-process lease manager.
 	LeaseStats = core.LeaseStats
+	// BatchCacheStats snapshots the engine's decoded-dataset cache:
+	// hits, misses, resident bytes, evictions, invalidations, and
+	// shuffle partition replay counts.
+	BatchCacheStats = mapreduce.BatchCacheStats
 )
 
 // The claim fallback modes.
@@ -293,6 +297,14 @@ type Config struct {
 	RecordScale float64
 	// SplitSize is the simulated input split size (default 128 MiB).
 	SplitSize int64
+	// MaxCachedBatchBytes bounds the engine's decoded-dataset batch
+	// cache — the in-memory fast path that feeds repeated reads of hot
+	// datasets (repository outputs, warm inputs) from resident columnar
+	// batches instead of re-reading and re-parsing part files. Zero
+	// selects the default (256 MiB); negative disables the cache.
+	// Outputs and simulated times are identical with the cache on or
+	// off.
+	MaxCachedBatchBytes int64
 	// DefaultReducers is the reduce parallelism for statements without
 	// a PARALLEL clause (default: the cluster's reduce slots).
 	DefaultReducers int
@@ -464,11 +476,12 @@ func Recover(cfg Config, fs dfs.Backend) (*System, error) {
 	}
 	cfg.NamespaceRoot = strings.Trim(cfg.NamespaceRoot, "/")
 	eng := mapreduce.New(fs, mapreduce.Config{
-		Topology:    cfg.Topology,
-		Cost:        cfg.Cost,
-		SimScale:    cfg.SimScale,
-		RecordScale: cfg.RecordScale,
-		SplitSize:   cfg.SplitSize,
+		Topology:            cfg.Topology,
+		Cost:                cfg.Cost,
+		SimScale:            cfg.SimScale,
+		RecordScale:         cfg.RecordScale,
+		SplitSize:           cfg.SplitSize,
+		MaxCachedBatchBytes: cfg.MaxCachedBatchBytes,
 	})
 
 	var (
@@ -628,6 +641,16 @@ func (s *System) MatcherStats() MatcherStats {
 // store.
 func (s *System) LeaseStats() LeaseStats {
 	return s.StorageStats().Leases
+}
+
+// BatchCacheStats snapshots the engine's decoded-dataset cache — the
+// in-memory fast path. The cache survives SetScales/SetSimScale engine
+// rebuilds; the zero value is returned when the cache is disabled
+// (Config.MaxCachedBatchBytes < 0).
+func (s *System) BatchCacheStats() BatchCacheStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.CacheStats()
 }
 
 // FS exposes the distributed file system.
