@@ -110,6 +110,18 @@ type leaseRecord struct {
 // tuple.Hash64 is an order of magnitude cheaper than the sha256 this
 // replaced while staying deterministic across processes — which the
 // shared-DFS lock namespace requires.
+//
+// Compatibility: the switch from sha256 to tuple.Hash64 renames every
+// lock file. Processes built before the switch hash the same
+// fingerprint to a different path, so a pre-switch and a post-switch
+// binary sharing one durable DFS lock namespace will not see each
+// other's leases — mutual exclusion between them is silently lost. Do
+// not mix binary versions across the rename on one DFS: drain the old
+// binaries' in-flight submits (their leases expire within the TTL,
+// DefaultLeaseTTL by default) before starting new ones, or point the
+// new binaries at a fresh namespace root. Stale old-name lease files
+// are inert afterwards — nothing ever hashes to them again — and are
+// only a few bytes each.
 func (lm *LeaseManager) leasePath(fp string) string {
 	h1 := tuple.Hash64(fp, 0)
 	h2 := tuple.Hash64(fp, 1)

@@ -225,6 +225,52 @@ store Y into 'out2';
 	}
 }
 
+// TestWriteThroughStaleVersionSkipped loses the write-through race on
+// purpose: a concurrent writer rewrites the same-named part file after
+// the job's write, so the file list still matches and only the dataset
+// version betrays the rewrite. The stale batches must not publish; a
+// part stamped with the current committed version must.
+func TestWriteThroughStaleVersionSkipped(t *testing.T) {
+	fs := dfs.New()
+	eng := New(fs, DefaultConfig())
+
+	write := func(data string) int64 {
+		w := fs.Create("wt/part-r-00000")
+		if _, err := w.Write([]byte(data)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return w.(interface{ CommittedVersion() int64 }).CommittedVersion()
+	}
+	decode := func(data string) *tuple.Batch {
+		b, err := tuple.DecodeTextBatch([]byte(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	ver := write("1\tone\n")
+	stale := writtenPart{dir: "wt", file: "wt/part-r-00000", batch: decode("1\tone\n"), ver: ver}
+	write("2\ttwo\n") // same-name rewrite between the job's write and writeThrough
+	eng.writeThrough(eng.cache, []writtenPart{stale})
+	if eng.cache.Get(fs, "wt") != nil {
+		t.Fatal("stale write-through entry published after same-name rewrite")
+	}
+
+	ver2 := write("3\tthree\n")
+	eng.writeThrough(eng.cache, []writtenPart{{dir: "wt", file: "wt/part-r-00000", batch: decode("3\tthree\n"), ver: ver2}})
+	ds := eng.cache.Get(fs, "wt")
+	if ds == nil {
+		t.Fatal("current write-through entry did not publish")
+	}
+	if got := ds.batches[0].Row(0); tuple.CompareTuples(got, tuple.Tuple{int64(3), "three"}) != 0 {
+		t.Fatalf("cached batch holds %v, want the last write's rows", got)
+	}
+}
+
 // TestEngineCacheDisabledRun checks RunOptions.DisableBatchCache leaves
 // no trace in the cache and still produces identical bytes.
 func TestEngineCacheDisabledRun(t *testing.T) {

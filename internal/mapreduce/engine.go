@@ -515,8 +515,15 @@ func mapSegmentSig(seg *segmentation, numRed int) string {
 // writeThrough populates the cache with the datasets a finished job
 // just wrote. Parts are grouped per Store directory and sorted by file
 // name — the same lexicographic order fs.List returns — and stamped
-// with the directory's post-write version, so the entry is exactly
-// what a fresh decode of the dataset would produce.
+// with the version the job's own last write to the directory committed
+// (captured atomically with each part's commit, see exec.close), so
+// the entry is exactly what a fresh decode of the dataset would
+// produce. Stamping the job's own committed version, not a re-read of
+// fs.Version, is what makes a lost race detectable: if a concurrent
+// writer rewrote same-named part files after this job's writes, the
+// directory version has moved past the stamp and the guard below skips
+// the insert instead of caching this job's stale batches under the
+// rewriter's newer version.
 func (e *Engine) writeThrough(cache *BatchCache, parts []writtenPart) {
 	byDir := map[string][]writtenPart{}
 	for _, wp := range parts {
@@ -524,16 +531,25 @@ func (e *Engine) writeThrough(cache *BatchCache, parts []writtenPart) {
 	}
 	for dir, ps := range byDir {
 		sort.Slice(ps, func(i, j int) bool { return ps[i].file < ps[j].file })
-		ds := &cachedDataset{path: dir, version: e.fs.Version(dir)}
+		ds := &cachedDataset{path: dir}
 		for _, wp := range ps {
 			ds.files = append(ds.files, wp.file)
 			ds.batches = append(ds.batches, wp.batch)
 			ds.mem += wp.batch.MemBytes()
 			ds.src += wp.batch.SrcBytes()
+			if wp.ver > ds.version {
+				ds.version = wp.ver
+			}
 		}
-		// Publish only when the captured parts are exactly the dataset's
-		// files on the DFS — a dropped capture or an unrelated writer
-		// would otherwise cache an incomplete view.
+		// Publish only when the directory is still exactly as this job
+		// left it: its version is the one our own last part commit
+		// produced (any later write — including a same-name rewrite the
+		// List comparison cannot see — bumps it past the stamp), and its
+		// file list matches the captured parts (a dropped capture or an
+		// unrelated writer would otherwise cache an incomplete view).
+		if e.fs.Version(dir) != ds.version {
+			continue
+		}
 		if !equalStrings(ds.files, e.fs.List(dir)) {
 			continue
 		}

@@ -43,6 +43,7 @@ type taskWriter struct {
 	rows    []tuple.Tuple
 	byteLen int64
 	batch   *tuple.Batch // decode of the written bytes, when capturing
+	ver     int64        // dataset version committed by this part's write
 }
 
 func newExec(plan *physical.Plan, succ map[int][]int, inMap map[int]bool) *exec {
@@ -251,6 +252,16 @@ func (x *exec) close(fs dfs.Backend, simScale float64, outStats map[string]Outpu
 		if err := f.Close(); err != nil {
 			return err
 		}
+		// The version of this part's own commit, for write-through
+		// staleness detection. Both DFS backends capture it inside
+		// Close's critical section; the Version fallback for other
+		// backends leaves a small window a concurrent writer could
+		// slip into, which writeThrough's guard then cannot see.
+		if cv, ok := f.(interface{ CommittedVersion() int64 }); ok {
+			w.ver = cv.CommittedVersion()
+		} else {
+			w.ver = fs.Version(w.path)
+		}
 		if buf != nil {
 			// Decode the exact bytes that landed on the DFS, so the
 			// cached batch is indistinguishable from a later re-read
@@ -274,6 +285,7 @@ type writtenPart struct {
 	dir   string // the Store dataset directory
 	file  string // full part-file path
 	batch *tuple.Batch
+	ver   int64 // dataset version committed by this part's write
 }
 
 // writtenParts returns the task's written part files with their
@@ -285,7 +297,7 @@ func (x *exec) writtenParts() []writtenPart {
 		if w.batch == nil {
 			continue
 		}
-		out = append(out, writtenPart{dir: w.path, file: w.path + "/" + x.suffix, batch: w.batch})
+		out = append(out, writtenPart{dir: w.path, file: w.path + "/" + x.suffix, batch: w.batch, ver: w.ver})
 	}
 	return out
 }

@@ -130,6 +130,12 @@ func NewBatchBuilder(n int) *BatchBuilder {
 // Append adds one row. The builder keeps references to t's values; the
 // caller must not mutate them afterwards.
 func (bb *BatchBuilder) Append(t Tuple) {
+	if len(t) > len(bb.cols) && bb.n > 0 {
+		// Earlier rows are narrower than this one: the batch is ragged
+		// even though the column count will now match len(t), so mark
+		// it before the widening loop erases the evidence.
+		bb.ragged = true
+	}
 	for len(bb.cols) < len(t) {
 		// A wider row introduces a column late: pad it with absent
 		// slots for every earlier row (never read back — widths gates
@@ -435,6 +441,13 @@ func DecodeBatchBinary(data []byte) (*Batch, int, error) {
 		return nil, 0, io.ErrUnexpectedEOF
 	}
 	off += sz
+	// Counts come from unvalidated varints; bound them against the
+	// buffer before any count-sized allocation. Every column costs at
+	// least two bytes (kind + null flag), so a corrupt header claiming
+	// more columns than bytes is rejected here instead of allocating.
+	if n64 > math.MaxInt32 || ncols > uint64(len(data))/2 {
+		return nil, 0, fmt.Errorf("tuple: batch header claims %d rows × %d cols in %d bytes", n64, ncols, len(data))
+	}
 	n := int(n64)
 	b := &Batch{n: n, cols: make([]column, ncols), srcBytes: src}
 	if off >= len(data) {
@@ -443,6 +456,10 @@ func DecodeBatchBinary(data []byte) (*Batch, int, error) {
 	hasWidths := data[off] == 1
 	off++
 	if hasWidths {
+		// Each width is at least one varint byte.
+		if n > len(data)-off {
+			return nil, 0, io.ErrUnexpectedEOF
+		}
 		b.widths = make([]int32, n)
 		for i := 0; i < n; i++ {
 			w, err := rd()
@@ -470,6 +487,10 @@ func (c *column) decodeBinary(data []byte, n int) (int, error) {
 	c.kind = colKind(data[0])
 	off := 1
 	if c.kind == colAny {
+		// Each boxed value encodes to at least one byte.
+		if n > len(data)-off {
+			return 0, io.ErrUnexpectedEOF
+		}
 		c.vals = make([]Value, n)
 		for i := 0; i < n; i++ {
 			v, used, err := decodeBinaryValue(data[off:])
@@ -501,6 +522,10 @@ func (c *column) decodeBinary(data []byte, n int) (int, error) {
 	}
 	switch c.kind {
 	case colInt:
+		// Each varint is at least one byte.
+		if n > len(data)-off {
+			return 0, io.ErrUnexpectedEOF
+		}
 		c.ints = make([]int64, n)
 		for i := 0; i < n; i++ {
 			v, sz := binary.Varint(data[off:])
@@ -520,6 +545,10 @@ func (c *column) decodeBinary(data []byte, n int) (int, error) {
 			off += 8
 		}
 	case colString:
+		// Each string is at least one length byte.
+		if n > len(data)-off {
+			return 0, io.ErrUnexpectedEOF
+		}
 		c.strs = make([]string, n)
 		for i := 0; i < n; i++ {
 			l, sz := binary.Uvarint(data[off:])

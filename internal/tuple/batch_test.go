@@ -106,6 +106,78 @@ func TestBatchBinaryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBatchWideningRows appends rows in strictly widening width order:
+// the batch must stay ragged even though the final column count equals
+// the last row's width, so early rows must not come back padded with
+// trailing nulls. Regression test — ragged was previously only set
+// when a row arrived narrower than the columns already present.
+func TestBatchWideningRows(t *testing.T) {
+	rows := []Tuple{
+		{int64(1), int64(2)},
+		{int64(1), int64(2), int64(3), int64(4)},
+	}
+	check := func(b *Batch, label string) {
+		t.Helper()
+		for i, want := range rows {
+			got := b.Row(i)
+			if len(got) != len(want) {
+				t.Fatalf("%s: row %d has width %d, want %d (%v)", label, i, len(got), len(want), got)
+			}
+			if CompareTuples(got, want) != 0 {
+				t.Fatalf("%s: row %d: got %v, want %v", label, i, got, want)
+			}
+		}
+	}
+	b := BatchOf(rows, 0)
+	check(b, "built")
+
+	enc := b.AppendBinary(nil)
+	dec, _, err := DecodeBatchBinary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(dec, "binary round-trip")
+
+	tb, err := DecodeTextBatch([]byte("1\t2\n1\t2\t3\t4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(tb, "text decode")
+}
+
+// TestDecodeBatchBinaryCorruptCounts feeds headers whose row/column
+// counts vastly exceed the buffer; the decoder must reject them before
+// allocating count-sized slices.
+func TestDecodeBatchBinaryCorruptCounts(t *testing.T) {
+	make1 := func(rows, cols uint64, widths byte) []byte {
+		enc := []byte{batchMagic}
+		enc = appendUvarintHelper(enc, rows)
+		enc = appendUvarintHelper(enc, cols)
+		enc = append(enc, 0) // srcBytes varint 0
+		enc = append(enc, widths)
+		return enc
+	}
+	cases := [][]byte{
+		make1(1<<40, 0, 1),  // huge row count with widths
+		make1(10, 1<<30, 0), // huge column count
+		make1(1<<62, 2, 0),  // row count past MaxInt32
+		append(make1(1<<20, 1, 0), 0, 0), // one int column, 2^20 claimed rows, 0 payload
+	}
+	for i, enc := range cases {
+		if _, _, err := DecodeBatchBinary(enc); err == nil {
+			t.Errorf("case %d: corrupt header decoded without error", i)
+		}
+	}
+}
+
+func appendUvarintHelper(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
 func TestBatchEmpty(t *testing.T) {
 	b := BatchOf(nil, 0)
 	if b.Len() != 0 {
