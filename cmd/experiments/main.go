@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "experiment to run: all, or one of fig9..fig17, table1, table2, figb, figm (comma-separated)")
+	runFlag := flag.String("run", "all", "experiment to run: all, or one of fig9..fig17, table1, table2, figb, figm, figd, figi (comma-separated)")
 	outFlag := flag.String("o", "", "also write the report to this file")
 	parFlag := flag.Int("parallel", 1, "experiments to run concurrently (each has its own System)")
 	timeoutFlag := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")

@@ -11,6 +11,7 @@
 //	restore-cli -max-repo-mb 64 -evict lru    # bound the repository
 //	restore-cli -durable -recover-check ...   # journal + prove recovery
 //	restore-cli -durable -backend disk -data-dir /var/restore  # persist to disk
+//	restore-cli -backend disk -data-dir /var/restore -scale tiny -append-net-days 1
 //	restore-cli -list                         # list PigMix queries
 //
 // Repeated runs share one repository, so with -reuse the second and
@@ -41,6 +42,13 @@
 // -data-dir so a killed process's acknowledged state survives a real
 // restart — rerunning with the same -data-dir recovers the repository
 // and skips regenerating the PigMix instance.
+//
+// -append-net-days is a maintenance mode: it appends that many daily
+// partitions to the net-traffic flow log on the selected backend and
+// exits without running a query. Growing a stopped server's disk
+// directory this way drives the incremental-maintenance path — the
+// restarted server delta-refreshes its stored net-traffic aggregates
+// on the next probe instead of recomputing the grown log cold.
 package main
 
 import (
@@ -63,7 +71,7 @@ func main() {
 	var (
 		queryFlag    = flag.String("query", "", "PigMix query name (L2..L8, L11, variants)")
 		scriptFlag   = flag.String("script", "", "path to a Pig Latin script file")
-		scaleFlag    = flag.String("scale", "15GB", "PigMix instance: 15GB or 150GB")
+		scaleFlag    = flag.String("scale", "15GB", "PigMix instance: tiny, 15GB or 150GB")
 		repeatFlag   = flag.Int("repeat", 1, "number of times to run the query")
 		reuseFlag    = flag.Bool("reuse", false, "enable plan matching and rewriting")
 		heurFlag     = flag.String("heuristic", "off", "sub-job heuristic: off, conservative, aggressive, no-heuristic")
@@ -91,6 +99,7 @@ func main() {
 		backendFlag  = flag.String("backend", "memory", "DFS backend: memory (volatile) or disk (persistent, needs -data-dir)")
 		dataDirFlag  = flag.String("data-dir", "", "directory of the disk backend's datasets and record log")
 		statsJSON    = flag.Bool("stats-json", false, "print the final stats as one JSON document (the /metrics schema) instead of text")
+		appendFlag   = flag.Int("append-net-days", 0, "append this many daily partitions to the backend's net-traffic flow log and exit (no query runs)")
 	)
 	flag.Parse()
 
@@ -105,16 +114,20 @@ func main() {
 	}
 	var scale pigmix.Scale
 	switch *scaleFlag {
+	case "tiny", "Tiny":
+		scale = pigmix.TinyScale
 	case "15GB", "15gb":
 		scale = pigmix.Scale15GB
 	case "150GB", "150gb":
 		scale = pigmix.Scale150GB
 	default:
-		fail(fmt.Errorf("unknown scale %q (want 15GB or 150GB)", *scaleFlag))
+		fail(fmt.Errorf("unknown scale %q (want tiny, 15GB or 150GB)", *scaleFlag))
 	}
 
 	var script, output string
 	switch {
+	case *appendFlag > 0:
+		// Maintenance mode: grow the flow log, no script to run.
 	case *queryFlag != "":
 		q, err := pigmix.Get(*queryFlag)
 		if err != nil {
@@ -172,6 +185,28 @@ func main() {
 		fs = disk
 	default:
 		fail(fmt.Errorf("unknown backend %q (want memory or disk)", *backendFlag))
+	}
+	if *appendFlag > 0 {
+		// Maintenance mode: append daily partitions to an existing flow
+		// log and exit, without building a System. Run against a disk
+		// backend while its server is stopped (the disk backend's lock
+		// is exclusive); the restarted server then sees the grown input
+		// and delta-refreshes its stored net-traffic entries on the
+		// next probe. Seed 6 matches the seed+5 the seed-1 Generate
+		// call below uses, so appended days carry the bytes a larger
+		// initial generation would have written.
+		if fs.Size(pigmix.PathNetTraffic) == 0 {
+			fail(fmt.Errorf("-append-net-days: backend has no %s dataset to grow", pigmix.PathNetTraffic))
+		}
+		rows := pigmix.NetTrafficRowsFor(scale)
+		for i := 0; i < *appendFlag; i++ {
+			day, err := pigmix.AppendNetTrafficDay(fs, rows, 6)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("appended net-traffic day %d (%d rows)\n", day, rows)
+		}
+		return
 	}
 	sys, err := restore.Recover(cfg, fs)
 	if err != nil {
@@ -281,6 +316,11 @@ func main() {
 			bc.Hits, bc.Misses, 100*bc.HitRatio(),
 			float64(bc.UsedBytes)/(1<<20), float64(bc.BudgetBytes)/(1<<20),
 			bc.Evictions, bc.Invalidations, bc.PartitionReplays)
+	}
+	if dl := sys.DeltaStats(); dl.Refreshes+dl.Failed > 0 {
+		fmt.Printf("delta refresh: %d refreshed (%d failed), %.1f MB appended bytes read, %.1f MB cold recompute avoided\n",
+			dl.Refreshes, dl.Failed,
+			float64(dl.DeltaBytesRead)/(1<<20), float64(dl.ColdBytesAvoided)/(1<<20))
 	}
 	if *durableFlag {
 		ds := sys.DurabilityStats()

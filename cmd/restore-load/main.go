@@ -14,7 +14,9 @@
 // light:1 → 3/4 of sessions are heavy). Each session submits -queries
 // queries back-to-back, drawing names from the Zipfian mix (-mix,
 // -skew, -seed); a 429 response is counted as a rejection and retried
-// after its Retry-After hint, up to -retry429 times.
+// after its Retry-After hint, up to -retry429 times. "-mix net"
+// selects the append-heavy net-traffic log-analytics suite (N1..N4);
+// the artifact then carries the server's delta-refresh counters.
 //
 // The assertion flags (-min-completed, -min-reuse-queries,
 // -min-rejected, -require-tenant-reuse) turn the harness into a CI
@@ -84,6 +86,7 @@ func main() {
 		minReuseFlag = flag.Int64("min-reuse-queries", 0, "assert at least this many completed queries reused the repository")
 		minRejFlag   = flag.Int64("min-rejected", 0, "assert at least this many 429 rejections were observed")
 		reqReuseFlag = flag.String("require-tenant-reuse", "", "comma-separated tenants that must each show reuse")
+		minDeltaFlag = flag.Int64("min-delta-refreshes", 0, "assert at least this many delta refreshes on the server's /metrics")
 	)
 	flag.Parse()
 
@@ -104,7 +107,14 @@ func main() {
 
 	names := pigmix.Names()
 	if *mixFlag != "" {
-		names = strings.Split(*mixFlag, ",")
+		if *mixFlag == "net" {
+			// The append-heavy log-analytics suite: N1..N4 over the
+			// net-traffic flow log, the workload the server's
+			// incremental-maintenance path refreshes under appends.
+			names = append([]string(nil), pigmix.NetTrafficSuite...)
+		} else {
+			names = strings.Split(*mixFlag, ",")
+		}
 		for _, n := range names {
 			if _, err := pigmix.Get(n); err != nil {
 				fail(err)
@@ -199,6 +209,11 @@ func main() {
 		fmt.Printf("restore-load: batch cache %d hits / %d misses (%.2f hit ratio)\n",
 			report.BatchCacheHits, report.BatchCacheMisses, report.BatchCacheHitRatio)
 	}
+	if report.DeltaRefreshes+report.DeltaRefreshFailed > 0 {
+		fmt.Printf("restore-load: delta refresh %d entries (%d failed), %.1f MB appended read, %.1f MB cold avoided\n",
+			report.DeltaRefreshes, report.DeltaRefreshFailed,
+			float64(report.DeltaBytesRead)/(1<<20), float64(report.DeltaColdBytesAvoided)/(1<<20))
+	}
 	for name, tl := range report.PerTenant {
 		fmt.Printf("restore-load:   %s: %d completed, %d rejected, p50 %.1fms, %d queries with reuse\n",
 			name, tl.Completed, tl.Rejected, tl.LatencyP50Ms, tl.QueriesWithReuse)
@@ -221,6 +236,9 @@ func main() {
 				fail(fmt.Errorf("assertion: tenant %q shows no reuse", tenant))
 			}
 		}
+	}
+	if report.DeltaRefreshes < *minDeltaFlag {
+		fail(fmt.Errorf("assertion: delta refreshes %d < %d", report.DeltaRefreshes, *minDeltaFlag))
 	}
 }
 
@@ -251,9 +269,10 @@ func parseTenants(spec string) ([]string, error) {
 	return out, nil
 }
 
-// scrapeBatchCache folds the server's decoded-dataset cache counters
-// from /metrics into the report; a scrape failure leaves them zero
-// (the report stays usable without the warm-path columns).
+// scrapeBatchCache folds the server's decoded-dataset cache and
+// incremental-maintenance counters from /metrics into the report; a
+// scrape failure leaves them zero (the report stays usable without the
+// warm-path columns).
 func scrapeBatchCache(ctx context.Context, c *http.Client, addr string, rep *exp.LoadReport) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/metrics", nil)
 	if err != nil {
@@ -272,6 +291,12 @@ func scrapeBatchCache(ctx context.Context, c *http.Client, addr string, rep *exp
 			Hits   int64
 			Misses int64
 		} `json:"batchCache"`
+		Delta struct {
+			Refreshes        int64 `json:"refreshes"`
+			Failed           int64 `json:"failed"`
+			DeltaBytesRead   int64 `json:"deltaBytesRead"`
+			ColdBytesAvoided int64 `json:"coldBytesAvoided"`
+		} `json:"delta"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		return
@@ -281,6 +306,10 @@ func scrapeBatchCache(ctx context.Context, c *http.Client, addr string, rep *exp
 	if total := doc.BatchCache.Hits + doc.BatchCache.Misses; total > 0 {
 		rep.BatchCacheHitRatio = float64(doc.BatchCache.Hits) / float64(total)
 	}
+	rep.DeltaRefreshes = doc.Delta.Refreshes
+	rep.DeltaRefreshFailed = doc.Delta.Failed
+	rep.DeltaBytesRead = doc.Delta.DeltaBytesRead
+	rep.DeltaColdBytesAvoided = doc.Delta.ColdBytesAvoided
 }
 
 func openSession(ctx context.Context, c *http.Client, addr, tenant string) (string, error) {

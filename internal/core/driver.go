@@ -223,6 +223,11 @@ type Driver struct {
 	// calls are in flight.
 	Admission chan struct{}
 
+	// delta counts the incremental-maintenance activity (see
+	// DeltaStats): entries delta-refreshed, appended bytes read, cold
+	// recompute bytes avoided.
+	delta deltaCounters
+
 	// clock accumulates simulated nanoseconds across executions; it
 	// drives the reuse-window eviction rule.
 	clock atomic.Int64
@@ -340,6 +345,23 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 	}
 
 	rewriter := &Rewriter{Repo: repo, FS: eng.FS(), LinearScan: opts.LinearMatch}
+	// Incremental maintenance: when the matcher's only candidate is a
+	// stale-but-mergeable entry whose inputs merely grew, refresh it
+	// from the appended slice instead of recomputing cold. The hook
+	// runs jobs through the engine, so rewrites of sibling jobs wait on
+	// the workflow lock while a refresh runs — execution itself is not
+	// serialized, and the refreshed entry is what they would match
+	// anyway.
+	// refreshSim accumulates the simulated time this query's entry
+	// refreshes consumed; it is added to the result's SimTime below —
+	// the delta and merge jobs run on the probing query's critical path,
+	// so a refreshed reuse is never reported as free.
+	var refreshSim atomic.Int64
+	rewriter.Refresher = func(cand RefreshCandidate) *Entry {
+		e, spent := d.refreshEntry(ctx, eng, repo, store, opts, queryID, cand)
+		refreshSim.Add(int64(spent))
+		return e
+	}
 	enum := &Enumerator{
 		Heuristic: opts.Heuristic,
 		PathFor: func(job *physical.Job, opID int) string {
@@ -707,7 +729,7 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 		res.ExtraStoredSimBytes += out.extraBytes
 	}
 
-	res.SimTime = cluster.CriticalPath(jobTimes, jobDeps)
+	res.SimTime = cluster.CriticalPath(jobTimes, jobDeps) + time.Duration(refreshSim.Load())
 	d.advance(res.SimTime)
 
 	if opts.DeleteTemps && !opts.storesAnything() {
@@ -789,6 +811,7 @@ func (d *Driver) register(opts Options, eng *mapreduce.Engine, repo *Repository,
 			StoredAt:      d.Now(),
 		}
 		if admit(e) {
+			stampMergeable(fs, e, cleanPlan)
 			if finalUser != "" {
 				// OutputVersion is unknown until the staged output is
 				// renamed into place; the commit path fills it in.
@@ -805,7 +828,8 @@ func (d *Driver) register(opts Options, eng *mapreduce.Engine, repo *Repository,
 		if !c.Existing {
 			extraBytes += out.SimBytes
 		}
-		prefix := SigOf(job.Plan.PrefixPlan(c.OpID, c.Path))
+		prefixPlan := job.Plan.PrefixPlan(c.OpID, c.Path)
+		prefix := SigOf(prefixPlan)
 		e := &Entry{
 			Plan:       prefix,
 			OutputPath: c.Path,
@@ -820,6 +844,7 @@ func (d *Driver) register(opts Options, eng *mapreduce.Engine, repo *Repository,
 			StoredAt:      d.Now(),
 		}
 		if admit(e) {
+			stampMergeable(fs, e, prefixPlan)
 			e.OutputVersion = fs.Version(e.OutputPath)
 			stored = append(stored, repo.Insert(e))
 		} else if !c.Existing {

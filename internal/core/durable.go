@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/dfs"
+	"repro/internal/physical"
 )
 
 // This file is the repository's durability subsystem: a crash-safe
@@ -88,6 +89,8 @@ type entryRecord struct {
 	Stats         EntryStats
 	InputVersions map[string]int64
 	OutputVersion int64
+	InputBases    map[string]dfs.Snapshot
+	Merge         *physical.MergeSpec
 	WholeJob      bool
 	StoredAt      time.Duration
 	LastReused    time.Duration
@@ -134,6 +137,8 @@ func recordOf(e *Entry, f *footprint, pos int) (*entryRecord, error) {
 		Stats:         e.Stats,
 		InputVersions: e.InputVersions,
 		OutputVersion: e.OutputVersion,
+		InputBases:    e.InputBases,
+		Merge:         e.Merge,
 		WholeJob:      e.WholeJob,
 		StoredAt:      e.StoredAt,
 		LastReused:    e.LastReused,
@@ -165,6 +170,8 @@ func entryOf(rec *entryRecord) (*Entry, *footprint) {
 		Stats:         rec.Stats,
 		InputVersions: rec.InputVersions,
 		OutputVersion: rec.OutputVersion,
+		InputBases:    rec.InputBases,
+		Merge:         rec.Merge,
 		WholeJob:      rec.WholeJob,
 		StoredAt:      rec.StoredAt,
 		LastReused:    rec.LastReused,

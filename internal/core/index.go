@@ -37,7 +37,13 @@ type footprint struct {
 	// op feeding the final Store); "" when the plan has none, in which
 	// case the entry can never match and is not posted.
 	frontier string
-	// sigs are the sorted, distinct signatures of every non-Store op.
+	// sigs are the sorted signatures of every non-Store op, kept as a
+	// multiset: the containment mapping is injective (each entry op
+	// must claim a distinct job op), so an entry with k ops of one
+	// signature needs a job with at least k of them. Footprints
+	// persisted before counts existed hold distinct signatures, which
+	// is the same check with every count at one — a correct, weaker
+	// filter.
 	sigs []string
 	// loads are the sorted dataset paths the plan reads. Load
 	// signatures already appear in sigs; the separate list makes the
@@ -48,16 +54,12 @@ type footprint struct {
 // footprintOf summarizes a plan for the index.
 func footprintOf(p PlanSig) *footprint {
 	f := &footprint{loads: p.loadPaths()}
-	seen := map[string]bool{}
 	for i := range p.Ops {
 		op := &p.Ops[i]
 		if op.Kind == physical.KStore {
 			continue
 		}
-		if !seen[op.Sig] {
-			seen[op.Sig] = true
-			f.sigs = append(f.sigs, op.Sig)
-		}
+		f.sigs = append(f.sigs, op.Sig)
 	}
 	sort.Strings(f.sigs)
 	if res := p.resultOp(); res >= 0 {
@@ -68,19 +70,27 @@ func footprintOf(p PlanSig) *footprint {
 	return f
 }
 
-// within reports whether the footprint is a subset of a probing job's
-// signature and load-path sets — the necessary condition for the
-// entry's plan to be contained in the job's.
-func (f *footprint) within(sigSet, loadSet map[string]bool) bool {
+// within reports whether the footprint's signature multiset is covered
+// by a probing job's signature counts and its loads by the job's
+// load-path set — the necessary condition for the entry's plan to be
+// contained in the job's. Duplicate-op plans are filtered by
+// multiplicity: a run of k equal signatures needs a job count of at
+// least k.
+func (f *footprint) within(sigCount map[string]int, loadSet map[string]bool) bool {
 	for _, p := range f.loads {
 		if !loadSet[p] {
 			return false
 		}
 	}
-	for _, s := range f.sigs {
-		if !sigSet[s] {
+	for i := 0; i < len(f.sigs); {
+		j := i
+		for j < len(f.sigs) && f.sigs[j] == f.sigs[i] {
+			j++
+		}
+		if sigCount[f.sigs[i]] < j-i {
 			return false
 		}
+		i = j
 	}
 	return true
 }
@@ -92,8 +102,10 @@ func (f *footprint) coveredBy(g *footprint) bool {
 	return subsetOf(f.loads, g.loads) && subsetOf(f.sigs, g.sigs)
 }
 
-// subsetOf reports whether every element of a occurs in b; both slices
-// must be sorted and duplicate-free.
+// subsetOf reports whether a is a sub-multiset of b: every element of
+// a claims a distinct occurrence in b. Both slices must be sorted;
+// duplicates are respected (the walk consumes one b element per a
+// element).
 func subsetOf(a, b []string) bool {
 	i := 0
 	for _, s := range a {
@@ -108,20 +120,20 @@ func subsetOf(a, b []string) bool {
 	return true
 }
 
-// probeSets builds the signature and load-path sets of a probing job
-// plan (all op signatures, including Stores — extra elements only
+// probeSets builds the signature counts and load-path set of a probing
+// job plan (all op signatures, including Stores — extra elements
 // weaken nothing, the sets sit on the superset side of every check).
-func probeSets(p PlanSig) (sigSet, loadSet map[string]bool) {
-	sigSet = make(map[string]bool, len(p.Ops))
+func probeSets(p PlanSig) (sigCount map[string]int, loadSet map[string]bool) {
+	sigCount = make(map[string]int, len(p.Ops))
 	loadSet = map[string]bool{}
 	for i := range p.Ops {
 		op := &p.Ops[i]
-		sigSet[op.Sig] = true
+		sigCount[op.Sig]++
 		if op.Kind == physical.KLoad {
 			loadSet[loadPathOf(op.Sig)] = true
 		}
 	}
-	return sigSet, loadSet
+	return sigCount, loadSet
 }
 
 // planIndex is the repository's inverted signature index. It is owned
@@ -215,11 +227,11 @@ func (ix *planIndex) footprintFor(e *Entry) *footprint {
 // candidates returns, in scan order, the entries whose footprint is a
 // subset of the probing job's signature sets: every entry the
 // sequential scan could match, and usually only a handful of them.
-func (ix *planIndex) candidates(sigSet, loadSet map[string]bool) []*Entry {
+func (ix *planIndex) candidates(sigCount map[string]int, loadSet map[string]bool) []*Entry {
 	var out []*Entry
-	for sig := range sigSet {
+	for sig := range sigCount {
 		for _, e := range ix.postings[sig] {
-			if ix.meta[e].within(sigSet, loadSet) {
+			if ix.meta[e].within(sigCount, loadSet) {
 				out = append(out, e)
 			}
 		}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/mapreduce"
+	"repro/internal/physical"
+)
+
+// Incremental maintenance of stored entries. When the matcher's best
+// candidate is an entry whose inputs merely grew by appended part files
+// (dfs.Classify) and whose producing plan is mergeable
+// (physical.AnalyzeMerge), the driver refreshes the entry instead of
+// letting the probing job recompute cold: it runs the entry's sub-plan
+// over only the appended slice, merges that delta with the stored
+// output, and re-registers the entry at the new input versions. The
+// probing job then reuses the refreshed output exactly as it would a
+// valid match — O(delta) bytes read instead of O(full input).
+
+// DeltaStats is a point-in-time snapshot of the driver's incremental
+// maintenance counters.
+type DeltaStats struct {
+	// Refreshes counts entries successfully delta-refreshed; Failed
+	// counts refresh attempts that fell back to the cold path (the
+	// delta or merge job failed, the stored output moved mid-refresh,
+	// or another query claimed the refresh first).
+	Refreshes int64 `json:"refreshes"`
+	Failed    int64 `json:"failed"`
+	// DeltaBytesRead totals the appended input bytes the delta jobs
+	// read; ColdBytesAvoided totals the input bytes a cold recompute of
+	// each refreshed entry would have read instead, minus the delta —
+	// the I/O the refreshes saved.
+	DeltaBytesRead   int64 `json:"deltaBytesRead"`
+	ColdBytesAvoided int64 `json:"coldBytesAvoided"`
+}
+
+// deltaCounters holds the driver's incremental-maintenance counters;
+// a separate struct keeps the Driver declaration readable.
+type deltaCounters struct {
+	refreshes        atomic.Int64
+	failed           atomic.Int64
+	deltaBytesRead   atomic.Int64
+	coldBytesAvoided atomic.Int64
+	seq              atomic.Int64 // uniquifies refresh output paths
+}
+
+// DeltaStats snapshots the driver's incremental maintenance counters.
+func (d *Driver) DeltaStats() DeltaStats {
+	return DeltaStats{
+		Refreshes:        d.delta.refreshes.Load(),
+		Failed:           d.delta.failed.Load(),
+		DeltaBytesRead:   d.delta.deltaBytesRead.Load(),
+		ColdBytesAvoided: d.delta.coldBytesAvoided.Load(),
+	}
+}
+
+// stampMergeable classifies the entry's producing plan for incremental
+// maintenance and, when mergeable, records each input's inventory
+// snapshot as the future delta base. InputVersions are re-derived from
+// the snapshots so the validity check and the growth classifier always
+// compare against the same observation.
+func stampMergeable(fs dfs.Backend, e *Entry, plan *physical.Plan) {
+	spec := physical.AnalyzeMerge(plan)
+	if spec == nil {
+		return
+	}
+	bases := make(map[string]dfs.Snapshot, len(e.InputVersions))
+	for p := range e.InputVersions {
+		s := dfs.TakeSnapshot(fs, p)
+		bases[p] = s
+		e.InputVersions[p] = s.Version
+	}
+	e.Merge = spec
+	e.InputBases = bases
+}
+
+// refreshEntry is the driver's Refresher: it runs the delta sub-plan
+// over the appended input slices, merges the result with the entry's
+// stored output, and re-registers the entry at the grown input
+// versions. It returns the refreshed entry — nil when the refresh
+// failed or was lost to a concurrent query (the caller then falls back
+// to the cold path) — and the simulated time the refresh jobs
+// consumed, which the probing query's SimTime must absorb: the delta
+// and merge work happens on its critical path.
+//
+// The refresh claims the entry's plan fingerprint when the claim
+// protocol is on, so two queries probing the same stale entry never run
+// the same delta twice; the loser goes cold (its own materialization
+// heuristics may still store a fresh copy, which replaces the entry
+// just like the refresh would).
+func (d *Driver) refreshEntry(ctx context.Context, eng *mapreduce.Engine, repo *Repository, store *StorageManager, opts Options, queryID string, cand RefreshCandidate) (*Entry, time.Duration) {
+	e := cand.Match.Entry
+	fs := eng.FS()
+
+	var spent time.Duration
+	var claim *Claim
+	if store != nil && !opts.DisableClaims {
+		c, won := store.TryClaim(e.fingerprint(), queryID)
+		if !won {
+			d.delta.failed.Add(1)
+			return nil, 0
+		}
+		claim = c
+	}
+	fail := func() *Entry {
+		if claim != nil {
+			store.Abort(claim)
+		}
+		d.delta.failed.Add(1)
+		return nil
+	}
+
+	base := fmt.Sprintf("%s/refresh/%s-r%d", d.namespace("restore", queryID), e.ID, d.delta.seq.Add(1))
+	deltaPath := base + "/delta"
+	mergedPath := base + "/out"
+
+	// The delta plan is the probing job's prefix up to the matched
+	// frontier — the entry stores only a signature DAG, but containment
+	// guarantees the frontier's ancestor cone in the job computes the
+	// same result — with every Load restricted to the appended part
+	// files of its dataset (unchanged inputs contribute no delta rows).
+	dp := cand.Job.Plan.PrefixPlan(cand.Match.Frontier, deltaPath)
+	var deltaBytes int64
+	for _, op := range dp.Ops() {
+		if op.Kind != physical.KLoad {
+			continue
+		}
+		if g, ok := cand.Growth[op.Path]; ok {
+			op.Files = g.NewPaths()
+		} else {
+			op.Files = []string{}
+		}
+	}
+	for _, g := range cand.Growth {
+		deltaBytes += g.NewBytes
+	}
+
+	djob := &physical.Job{
+		ID:          fmt.Sprintf("refresh-%s-delta", e.ID),
+		Plan:        dp,
+		OutputPath:  deltaPath,
+		NumReducers: cand.Job.NumReducers,
+	}
+	dstats, err := eng.RunContextOpts(ctx, djob, mapreduce.RunOptions{DisableBatchCache: opts.DisableBatchCache})
+	if err != nil {
+		_ = fs.Delete(deltaPath)
+		return fail(), spent
+	}
+	spent += dstats.SimTime
+
+	mjob := &physical.Job{
+		ID:          fmt.Sprintf("refresh-%s-merge", e.ID),
+		Plan:        physical.BuildMergePlan(e.Merge, e.OutputPath, deltaPath, mergedPath),
+		OutputPath:  mergedPath,
+		NumReducers: cand.Job.NumReducers,
+	}
+	mstats, err := eng.RunContextOpts(ctx, mjob, mapreduce.RunOptions{DisableBatchCache: opts.DisableBatchCache})
+	_ = fs.Delete(deltaPath)
+	if err != nil {
+		_ = fs.Delete(mergedPath)
+		return fail(), spent
+	}
+	spent += mstats.SimTime
+	// The merge read the stored output unlocked; if a concurrent writer
+	// replaced it mid-merge, the merged result mixes versions. The
+	// entry is pinned (no vacuum) but the dataset itself is not sealed.
+	if fs.Version(e.OutputPath) != e.OutputVersion {
+		_ = fs.Delete(mergedPath)
+		return fail(), spent
+	}
+
+	// Re-register at the grown input versions. The recorded base for a
+	// grown input is base ∪ the files this refresh consumed — not a
+	// fresh observation, which could already include appends the delta
+	// never read. Replacement preserves the entry's identity, so the
+	// pin taken at match time now protects the refreshed entry.
+	ne := &Entry{
+		Plan:       e.Plan,
+		OutputPath: mergedPath,
+		WholeJob:   e.WholeJob,
+		Stats: EntryStats{
+			// Approximate grown-recompute costs: a cold run would read
+			// the base and the delta and take at least the original job
+			// plus the delta job.
+			InputSimBytes:  e.Stats.InputSimBytes + dstats.InputSimBytes,
+			OutputSimBytes: mstats.OutputSimBytes,
+			AvgMapTime:     e.Stats.AvgMapTime,
+			AvgRedTime:     e.Stats.AvgRedTime,
+			JobSimTime:     e.Stats.JobSimTime + dstats.SimTime,
+		},
+		InputVersions: make(map[string]int64, len(e.InputVersions)),
+		OutputVersion: fs.Version(mergedPath),
+		InputBases:    make(map[string]dfs.Snapshot, len(e.InputBases)),
+		Merge:         e.Merge,
+		StoredAt:      d.Now(),
+	}
+	var coldBytes int64
+	for p, v := range e.InputVersions {
+		if g, ok := cand.Growth[p]; ok {
+			ne.InputVersions[p] = g.Version
+			ne.InputBases[p] = g.Grown(e.InputBases[p])
+		} else {
+			ne.InputVersions[p] = v
+			ne.InputBases[p] = e.InputBases[p]
+		}
+		coldBytes += ne.InputBases[p].Bytes
+	}
+	ins := repo.Insert(ne)
+	if claim != nil {
+		store.Commit(claim, ins)
+	}
+	d.delta.refreshes.Add(1)
+	d.delta.deltaBytesRead.Add(deltaBytes)
+	d.delta.coldBytesAvoided.Add(coldBytes - deltaBytes)
+	return ins, spent
+}

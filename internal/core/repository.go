@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/dfs"
+	"repro/internal/physical"
 )
 
 // EntryStats carries the execution statistics the repository keeps per
@@ -60,6 +61,20 @@ type Entry struct {
 	// STORE path — so reuse can never serve data the entry's plan did
 	// not produce. Zero (legacy saved repositories) skips the check.
 	OutputVersion int64
+
+	// InputBases records, per input dataset, the file-inventory
+	// snapshot taken when the output was materialized — the base
+	// observation append detection (dfs.Classify) compares against.
+	// Nil or missing a path on legacy entries, which then never
+	// delta-refresh.
+	InputBases map[string]dfs.Snapshot
+
+	// Merge is the entry's mergeability classification, derived from
+	// its physical sub-plan at insert time: non-nil means the stored
+	// output can be combined with a delta run over appended input
+	// (see physical.AnalyzeMerge). Nil entries fall back to cold
+	// recompute-and-replace when their inputs change.
+	Merge *physical.MergeSpec
 
 	// WholeJob marks entries that materialize a complete job rather
 	// than an enumerated sub-job.
@@ -420,6 +435,8 @@ func (r *Repository) Insert(e *Entry) *Entry {
 		ne.Stats = e.Stats
 		ne.InputVersions = e.InputVersions
 		ne.OutputVersion = e.OutputVersion
+		ne.InputBases = e.InputBases
+		ne.Merge = e.Merge
 		ne.StoredAt = e.StoredAt
 		// The replacement may point at a different output; never inherit
 		// the old entry's memoized size.

@@ -43,13 +43,40 @@ type Rewriter struct {
 	// hatch.
 	LinearScan bool
 
+	// Refresher, when non-nil, is invoked when the matcher's only
+	// usable candidate is a stale entry whose inputs merely grew and
+	// whose output is mergeable: it must run the delta sub-plan over
+	// the appended input slice, merge it with the stored output, and
+	// re-register the entry, returning the refreshed replacement (nil
+	// when the refresh failed, which sends the job down the cold
+	// path). It is called after the repository probe returns — never
+	// under the repository lock — because it executes jobs and inserts
+	// entries. The driver installs it.
+	Refresher func(cand RefreshCandidate) *Entry
+
 	// negMu guards neg, the submission-scoped memo of failed
 	// containment tests. Entries are immutable — re-registration swaps
 	// in a fresh pointer — so the entry pointer identifies exactly one
 	// entry version, and a rewritten plan changes its fingerprint; a
 	// stale negative can therefore never suppress a live match.
-	negMu sync.Mutex
-	neg   map[negKey]bool
+	// noRefresh (same lock) marks entry versions whose refresh already
+	// failed this submission, so one bad delta does not retry on every
+	// probe round.
+	negMu     sync.Mutex
+	neg       map[negKey]bool
+	noRefresh map[*Entry]bool
+}
+
+// RefreshCandidate hands the Refresher everything a delta refresh
+// needs: the probing job (whose plan contains the entry's sub-plan —
+// the entry itself stores only a signature DAG, so the executable
+// delta plan is carved from the job via Match.Frontier), the
+// containment result, and the per-input growth classifications listing
+// exactly the appended files the delta must read.
+type RefreshCandidate struct {
+	Job    *physical.Job
+	Match  *MatchResult
+	Growth map[string]dfs.Growth
 }
 
 // negKey identifies one memoized rejection: this entry version's plan
@@ -74,6 +101,62 @@ func (rw *Rewriter) cacheNeg(k negKey) {
 		rw.neg = map[negKey]bool{}
 	}
 	rw.neg[k] = true
+}
+
+// refreshBlocked reports whether this entry version's refresh already
+// failed in this submission.
+func (rw *Rewriter) refreshBlocked(e *Entry) bool {
+	rw.negMu.Lock()
+	defer rw.negMu.Unlock()
+	return rw.noRefresh[e]
+}
+
+// blockRefresh marks this entry version as not worth re-attempting.
+func (rw *Rewriter) blockRefresh(e *Entry) {
+	rw.negMu.Lock()
+	defer rw.negMu.Unlock()
+	if rw.noRefresh == nil {
+		rw.noRefresh = map[*Entry]bool{}
+	}
+	rw.noRefresh[e] = true
+}
+
+// refreshableGrowth classifies a stale entry's inputs against its
+// stored base snapshots. It returns the growth set and true only when
+// the entry could be delta-refreshed: it is mergeable, its own output
+// is untouched, and every input whose version moved did so by pure
+// append (at least one did).
+func (rw *Rewriter) refreshableGrowth(e *Entry) (map[string]dfs.Growth, bool) {
+	if e.Merge == nil || len(e.InputBases) == 0 || rw.refreshBlocked(e) {
+		return nil, false
+	}
+	if !rw.FS.Exists(e.OutputPath) {
+		return nil, false
+	}
+	if e.OutputVersion == 0 || rw.FS.Version(e.OutputPath) != e.OutputVersion {
+		return nil, false
+	}
+	growth := map[string]dfs.Growth{}
+	for p, v := range e.InputVersions {
+		if rw.FS.Version(p) == v {
+			continue
+		}
+		base, ok := e.InputBases[p]
+		if !ok {
+			return nil, false
+		}
+		g := dfs.Classify(rw.FS, p, base)
+		switch g.Kind {
+		case dfs.GrowthNone:
+			// The version settled back between the two observations;
+			// nothing to read for this input.
+		case dfs.GrowthAppend:
+			growth[p] = g
+		default:
+			return nil, false
+		}
+	}
+	return growth, len(growth) > 0
 }
 
 // RewriteEvent records one applied rewrite for reporting.
@@ -149,11 +232,26 @@ func (rw *Rewriter) findBestMatch(job *physical.Job, allowWhole bool) *MatchResu
 		mainStoreInput = st.InputIDs[0]
 	}
 	var found *MatchResult
+	var refresh *RefreshCandidate
 	var visited, traversals, negHits int64
 	visit := func(e *Entry) bool {
 		visited++
+		refreshable := false
+		var growth map[string]dfs.Growth
 		if !rw.Repo.Valid(e, rw.FS) {
-			return true
+			// A stale entry whose inputs merely grew (and whose output
+			// is mergeable) is still worth a containment test: if the
+			// job contains it and nothing valid matches, the rewriter
+			// delta-refreshes it instead of letting the job recompute
+			// cold. Only the first such candidate is kept — it arrives
+			// in preference order, like matches.
+			if rw.Refresher == nil || refresh != nil {
+				return true
+			}
+			growth, refreshable = rw.refreshableGrowth(e)
+			if !refreshable {
+				return true
+			}
 		}
 		// Validity is FS-dependent and never memoized; containment is a
 		// pure function of the entry version and the job plan, so its
@@ -184,6 +282,10 @@ func (rw *Rewriter) findBestMatch(job *physical.Job, allowWhole bool) *MatchResu
 			return true
 		}
 		rw.Repo.Pin(e.ID)
+		if refreshable {
+			refresh = &RefreshCandidate{Job: job, Match: res, Growth: growth}
+			return true // keep scanning: a valid match beats a refresh
+		}
 		found = res
 		return false
 	}
@@ -194,7 +296,27 @@ func (rw *Rewriter) findBestMatch(job *physical.Job, allowWhole bool) *MatchResu
 		rw.Repo.Probe(jobSig, visit)
 	}
 	rw.Repo.noteMatchWork(traversals, negHits, found != nil)
-	return found
+	if found != nil {
+		if refresh != nil {
+			rw.Repo.Unpin(refresh.Match.Entry.ID)
+		}
+		return found
+	}
+	if refresh != nil {
+		// Refresh outside the probe (the hook runs jobs and inserts
+		// into the repository). The refreshed entry keeps its identity
+		// — replacement preserves the ID — so the pin taken at match
+		// time keeps protecting it; the containment mapping stays valid
+		// because the job plan was not touched in between.
+		if ne := rw.Refresher(*refresh); ne != nil {
+			res := *refresh.Match
+			res.Entry = ne
+			return &res
+		}
+		rw.Repo.Unpin(refresh.Match.Entry.ID)
+		rw.blockRefresh(refresh.Match.Entry)
+	}
+	return nil
 }
 
 // applyRewrite replaces the matched region of the plan with a Load of

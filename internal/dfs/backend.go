@@ -72,6 +72,12 @@ type Backend interface {
 	// Version returns the modification version of the dataset
 	// containing path; zero means never written.
 	Version(path string) int64
+	// FileStats returns the per-file sizes under path, sorted by file
+	// path. It is the observation primitive append detection is built
+	// on: a dataset "grew" when its version moved but every previously
+	// listed file is still present at its recorded size and only new
+	// files appeared.
+	FileStats(path string) []FileStat
 	// BytesRead and BytesWritten are the cumulative traffic meters;
 	// TotalBytes is the bytes currently stored.
 	BytesRead() int64

@@ -305,6 +305,27 @@ func (fs *FS) Stat(path string) (bytes int64, version int64, leaf bool) {
 	return bytes, version, false
 }
 
+// FileStats returns the per-file sizes under path, sorted by path. A
+// file's own path reports itself; a directory reports every file under
+// it.
+func (fs *FS) FileStats(path string) []FileStat {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	p := clean(path)
+	var out []FileStat
+	if f, ok := fs.files[p]; ok {
+		out = append(out, FileStat{Path: p, Size: int64(len(f.data))})
+	}
+	prefix := p + "/"
+	for name, f := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, FileStat{Path: name, Size: int64(len(f.data))})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // Datasets returns the dataset paths holding data under prefix, sorted;
 // the empty prefix lists every dataset. A dataset is the directory
 // grouping a job's part files (or a standalone file's own path).

@@ -681,6 +681,25 @@ func (d *Disk) List(path string) []string {
 	return out
 }
 
+// FileStats returns the per-file sizes under path, sorted by path.
+func (d *Disk) FileStats(path string) []FileStat {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	p := clean(path)
+	var out []FileStat
+	if f, ok := d.files[p]; ok {
+		out = append(out, FileStat{Path: p, Size: f.size})
+	}
+	prefix := p + "/"
+	for name, f := range d.files {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, FileStat{Path: name, Size: f.size})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // Size returns the total bytes stored under path.
 func (d *Disk) Size(path string) int64 {
 	d.mu.RLock()

@@ -1,0 +1,100 @@
+package dfs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestClassifyGrowth drives the snapshot/classify contract on both
+// backends: unchanged datasets report GrowthNone, strictly extended
+// inventories report GrowthAppend with exactly the new files, and any
+// disturbance of a snapshot file — size change, removal, or a
+// same-inventory version bump — degrades to GrowthRewrite.
+func TestClassifyGrowth(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, fs Backend) {
+		for i := 0; i < 3; i++ {
+			if err := fs.WriteFile(fmt.Sprintf("logs/part-%05d", i), []byte("0123456789")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		base := TakeSnapshot(fs, "logs")
+		if base.Version == 0 || base.Bytes != 30 || len(base.Files) != 3 {
+			t.Fatalf("base snapshot: %+v", base)
+		}
+
+		if g := Classify(fs, "logs", base); g.Kind != GrowthNone {
+			t.Fatalf("unchanged dataset classified %v", g.Kind)
+		}
+
+		// Append two parts: the growth is exactly those files.
+		if err := fs.WriteFile("logs/part-00003", []byte("abcdef")); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteFile("logs/part-00004", []byte("gh")); err != nil {
+			t.Fatal(err)
+		}
+		g := Classify(fs, "logs", base)
+		if g.Kind != GrowthAppend {
+			t.Fatalf("append classified %v", g.Kind)
+		}
+		if g.NewBytes != 8 || len(g.NewFiles) != 2 {
+			t.Fatalf("append slice: %+v", g)
+		}
+		if p := g.NewPaths(); p[0] != "logs/part-00003" || p[1] != "logs/part-00004" {
+			t.Fatalf("NewPaths: %v", p)
+		}
+		if g.Version != fs.Version("logs") {
+			t.Fatalf("growth version %d, live %d", g.Version, fs.Version("logs"))
+		}
+
+		// Grown folds the consumed slice into the base: classifying the
+		// same live state against it sees no further growth.
+		grown := g.Grown(base)
+		if grown.Bytes != 38 || len(grown.Files) != 5 || grown.Version != g.Version {
+			t.Fatalf("grown snapshot: %+v", grown)
+		}
+		if g2 := Classify(fs, "logs", grown); g2.Kind != GrowthNone {
+			t.Fatalf("grown base against unchanged live state classified %v", g2.Kind)
+		}
+
+		// A base file changing size is a rewrite.
+		if err := fs.WriteFile("logs/part-00000", []byte("longer than before")); err != nil {
+			t.Fatal(err)
+		}
+		if g := Classify(fs, "logs", grown); g.Kind != GrowthRewrite {
+			t.Fatalf("resized base file classified %v", g.Kind)
+		}
+
+		// A base file vanishing is a rewrite even if new files appeared.
+		base2 := TakeSnapshot(fs, "logs")
+		if err := fs.Delete("logs/part-00001"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteFile("logs/part-00009", []byte("xy")); err != nil {
+			t.Fatal(err)
+		}
+		if g := Classify(fs, "logs", base2); g.Kind != GrowthRewrite {
+			t.Fatalf("removed base file classified %v", g.Kind)
+		}
+	})
+}
+
+// TestClassifySameSizeRewrite is the corner the name+size proxy must
+// refuse to bless: the version moved but the inventory is identical —
+// an in-place rewrite to the same sizes is indistinguishable from it,
+// so the classification must be GrowthRewrite, never GrowthNone.
+func TestClassifySameSizeRewrite(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, fs Backend) {
+		if err := fs.WriteFile("ds/part-00000", []byte("aaaa")); err != nil {
+			t.Fatal(err)
+		}
+		base := TakeSnapshot(fs, "ds")
+		if err := fs.WriteFile("ds/part-00000", []byte("bbbb")); err != nil {
+			t.Fatal(err)
+		}
+		g := Classify(fs, "ds", base)
+		if g.Kind != GrowthRewrite {
+			t.Fatalf("same-size in-place rewrite classified %v, want GrowthRewrite", g.Kind)
+		}
+	})
+}

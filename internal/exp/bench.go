@@ -86,6 +86,14 @@ type LoadReport struct {
 	BatchCacheMisses   int64   `json:"batchCacheMisses"`
 	BatchCacheHitRatio float64 `json:"batchCacheHitRatio"`
 
+	// Incremental-maintenance accounting scraped alongside: entries
+	// delta-refreshed after input appends, appended bytes their delta
+	// jobs read, and the cold-recompute bytes those refreshes avoided.
+	DeltaRefreshes        int64 `json:"deltaRefreshes"`
+	DeltaRefreshFailed    int64 `json:"deltaRefreshFailed"`
+	DeltaBytesRead        int64 `json:"deltaBytesRead"`
+	DeltaColdBytesAvoided int64 `json:"deltaColdBytesAvoided"`
+
 	// PerTenant breaks the traffic down by tenant.
 	PerTenant map[string]*TenantLoad `json:"perTenant,omitempty"`
 }

@@ -146,12 +146,13 @@ func Figure17() (*Report, error) {
 
 // Order is the paper's presentation order of the experiments, the keys
 // of Runners; "figb" (the storage-budget eviction comparison), "figm"
-// (matcher scaling: sequential scan vs signature index) and "figd"
-// (reuse across restart with the durable repository) extend the
+// (matcher scaling: sequential scan vs signature index), "figd"
+// (reuse across restart with the durable repository) and "figi"
+// (append-then-requery with incremental maintenance) extend the
 // paper's evaluation.
 var Order = []string{
 	"fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-	"table1", "fig15", "table2", "fig16", "fig17", "figb", "figm", "figd",
+	"table1", "fig15", "table2", "fig16", "fig17", "figb", "figm", "figd", "figi",
 }
 
 // Runners returns every experiment keyed by name, with the sub-job
@@ -178,6 +179,7 @@ func Runners(st *Study) map[string]func() (*Report, error) {
 		"figb":   FigureB,
 		"figm":   FigureM,
 		"figd":   FigureD,
+		"figi":   FigureI,
 	}
 }
 

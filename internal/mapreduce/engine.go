@@ -458,7 +458,14 @@ func (e *Engine) makeSplits(p *physical.Plan, cache *BatchCache) ([]split, error
 		if op.Kind != physical.KLoad {
 			continue
 		}
-		ds, err := e.loadDataset(op.Path, cache)
+		restricted := op.Files != nil
+		var ds *cachedDataset
+		var err error
+		if restricted {
+			ds, err = e.loadFiles(op.Path, op.Files, cache)
+		} else {
+			ds, err = e.loadDataset(op.Path, cache)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -485,7 +492,9 @@ func (e *Engine) makeSplits(p *physical.Plan, cache *BatchCache) ([]split, error
 				}
 				chunkBytes := actualBytes * int64(j-i) / int64(nrows)
 				sp := split{loadID: op.ID, file: ds.files[fi], batch: b, lo: i, hi: j, bytes: chunkBytes}
-				if cache != nil {
+				if cache != nil && !restricted {
+					// Restricted views are ad-hoc datasets; they carry
+					// no shuffle-partition recordings.
 					sp.ds = ds
 				}
 				out = append(out, sp)
@@ -493,6 +502,59 @@ func (e *Engine) makeSplits(p *physical.Plan, cache *BatchCache) ([]split, error
 		}
 	}
 	return out, nil
+}
+
+// loadFiles decodes exactly the listed part files of the dataset at
+// path — the restricted view a Load with Files set executes over. When
+// the full dataset is already cached its batches are sliced instead of
+// re-read, so a delta run whose base is warm touches the DFS only for
+// the files it actually needs; a restricted view is never inserted
+// into the cache (it is not the dataset).
+func (e *Engine) loadFiles(path string, files []string, cache *BatchCache) (*cachedDataset, error) {
+	ds := &cachedDataset{path: path}
+	if len(files) == 0 {
+		return ds, nil
+	}
+	want := make(map[string]bool, len(files))
+	for _, f := range files {
+		want[f] = true
+	}
+	if cache != nil {
+		if full := cache.Get(e.fs, path); full != nil {
+			for i, f := range full.files {
+				if !want[f] {
+					continue
+				}
+				b := full.batches[i]
+				ds.files = append(ds.files, f)
+				ds.batches = append(ds.batches, b)
+				ds.mem += b.MemBytes()
+				ds.src += b.SrcBytes()
+			}
+			if len(ds.files) == len(want) {
+				return ds, nil
+			}
+			// The cached view predates some wanted files; read directly.
+			ds = &cachedDataset{path: path}
+		}
+	}
+	sorted := append([]string{}, files...)
+	sort.Strings(sorted)
+	for _, f := range sorted {
+		data, err := e.fs.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		b, err := tuple.DecodeTextBatch(data)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", f, err)
+		}
+		ds.files = append(ds.files, f)
+		ds.batches = append(ds.batches, b)
+		ds.mem += b.MemBytes()
+		ds.src += b.SrcBytes()
+	}
+	return ds, nil
 }
 
 // mapSegmentSig fingerprints the map segment's structure — every
@@ -732,9 +794,17 @@ func (e *Engine) runMapTask(job *physical.Job, seg *segmentation, sp split, task
 		}
 	}
 
+	// Feed rows through a reusable cursor when the plan shape allows
+	// it (every map path from this Load reaches a ForEach — which
+	// allocates fresh output tuples — before anything that retains its
+	// input), so warm splits stop allocating one tuple view per record.
+	row := sp.batch.Row
+	if sp.batch != nil && cursorFeedSafe(seg, sp.loadID) {
+		row = sp.batch.Cursor().Row
+	}
 	for i := sp.lo; i < sp.hi; i++ {
 		mr.records++
-		if err := px.push(sp.loadID, sp.batch.Row(i)); err != nil {
+		if err := px.push(sp.loadID, row(i)); err != nil {
 			return mr, err
 		}
 	}
@@ -768,6 +838,44 @@ func (e *Engine) runMapTask(job *physical.Job, seg *segmentation, sp split, task
 		NumStores:    px.numStores,
 	}
 	return mr, nil
+}
+
+// cursorFeedSafe reports whether rows pushed from loadID may share one
+// reused buffer: true when every map-segment path from the load hits a
+// ForEach (which builds a fresh output tuple, ending the buffer's
+// reach) before any operator that retains its input tuple — Store
+// appends it to the task writer, LocalRearrange hands it to the
+// shuffle accumulator. Filter, Union, Split and Limit pass tuples
+// through unretained; any other kind is conservatively unsafe.
+func cursorFeedSafe(seg *segmentation, loadID int) bool {
+	safe := map[int]bool{}
+	var visit func(id int) bool
+	visit = func(id int) bool {
+		if ok, done := safe[id]; done {
+			return ok
+		}
+		safe[id] = true // DAG: a revisit mid-walk sees the optimistic value
+		ok := true
+		for _, sid := range seg.succ[id] {
+			if !seg.inMap[sid] {
+				continue
+			}
+			switch seg.plan.Op(sid).Kind {
+			case physical.KForEach:
+				// Fresh allocation boundary: downstream retention holds
+				// the ForEach's tuple, not the cursor buffer.
+			case physical.KFilter, physical.KUnion, physical.KSplit, physical.KLimit:
+				if !visit(sid) {
+					ok = false
+				}
+			default:
+				ok = false
+			}
+		}
+		safe[id] = ok
+		return ok
+	}
+	return visit(loadID)
 }
 
 func (e *Engine) runReducePhase(ctx context.Context, job *physical.Job, seg *segmentation, mapResults []mapResult, numRed int, stats *JobStats, tracker *progressTracker, capture bool) ([]time.Duration, []writtenPart, error) {

@@ -100,6 +100,15 @@ type Op struct {
 	// KLoad / KStore
 	Path string
 
+	// KLoad: when non-nil, restrict the load to exactly these part
+	// files of the dataset instead of all of them. An empty non-nil
+	// slice loads zero rows. Delta plans use this to run a stored
+	// sub-plan over only the appended slice of a grown input. Files is
+	// an execution detail, not part of the operator's Signature: a
+	// restricted load is the same computation over a subset of the
+	// data, and delta plans are never registered in the repository.
+	Files []string
+
 	// KForEach: one output column per expression.
 	Exprs []expr.Expr
 
@@ -359,6 +368,9 @@ func (p *Plan) Clone() *Plan {
 		c.Exprs = append([]expr.Expr(nil), op.Exprs...)
 		c.KeyExprs = append([]expr.Expr(nil), op.KeyExprs...)
 		c.Desc = append([]bool(nil), op.Desc...)
+		if op.Files != nil {
+			c.Files = append([]string{}, op.Files...)
+		}
 		np.ops[id] = &c
 	}
 	return np

@@ -143,7 +143,22 @@ func Generate(fs dfs.Backend, sc Scale, seed int64) (int64, error) {
 	if err := generateWiderow(fs, rand.New(rand.NewSource(seed+4)), PathWiderowB); err != nil {
 		return 0, err
 	}
+	if err := GenerateNetTraffic(fs, NetTrafficDays, NetTrafficRowsFor(sc), seed+5); err != nil {
+		return 0, err
+	}
 	return fs.Size(PathPageViews), nil
+}
+
+// NetTrafficRowsFor sizes the net-traffic daily partitions
+// proportionally to the instance's page_views volume. Exported so an
+// out-of-process appender (restore-cli -append-net-days) grows a disk
+// backend's flow log at the same per-day row count Generate seeded it
+// with.
+func NetTrafficRowsFor(sc Scale) int {
+	if sc.PageViews <= TinyScale.PageViews {
+		return NetTrafficRowsPerDay / 3
+	}
+	return NetTrafficRowsPerDay * sc.PageViews / Scale15GB.PageViews
 }
 
 // SimScaleFor returns the SimScale factor that makes the generated

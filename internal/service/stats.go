@@ -22,6 +22,9 @@ type StatsBundle struct {
 	// BatchCache snapshots the engine's decoded-dataset cache (the
 	// in-memory fast path); zero when the cache is disabled.
 	BatchCache restore.BatchCacheStats `json:"batchCache"`
+	// Delta snapshots incremental maintenance: stored entries
+	// delta-refreshed after input appends instead of recomputed cold.
+	Delta restore.DeltaStats `json:"delta"`
 	// Service carries the serving front-end's per-tenant counters; nil
 	// when the bundle was taken from a System with no server in front
 	// (restore-cli).
@@ -37,6 +40,7 @@ func SystemStats(sys *restore.System) StatsBundle {
 		Durability: sys.DurabilityStats(),
 		Leases:     st.Leases,
 		BatchCache: sys.BatchCacheStats(),
+		Delta:      sys.DeltaStats(),
 	}
 }
 

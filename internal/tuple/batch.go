@@ -88,6 +88,40 @@ func (b *Batch) Row(i int) Tuple {
 	return t
 }
 
+// RowCursor materializes rows through one reusable buffer, avoiding
+// Row's per-call tuple allocation. The tuple returned by Row is valid
+// only until the next Row call on the same cursor — callers must hand
+// it exclusively to consumers that do not retain it (the engine checks
+// the plan shape before choosing cursor feeds). Field values are
+// shared with the batch, exactly as with Batch.Row. A cursor is not
+// safe for concurrent use; each task takes its own.
+type RowCursor struct {
+	b   *Batch
+	buf Tuple
+}
+
+// Cursor returns a reusable row cursor over the batch.
+func (b *Batch) Cursor() *RowCursor {
+	return &RowCursor{b: b, buf: make(Tuple, len(b.cols))}
+}
+
+// Row returns row i backed by the cursor's buffer.
+func (c *RowCursor) Row(i int) Tuple {
+	b := c.b
+	w := len(b.cols)
+	if b.widths != nil {
+		w = int(b.widths[i])
+	}
+	if cap(c.buf) < w {
+		c.buf = make(Tuple, w)
+	}
+	t := c.buf[:w]
+	for j := 0; j < w; j++ {
+		t[j] = b.cols[j].value(i)
+	}
+	return t
+}
+
 func (c *column) value(i int) Value {
 	switch c.kind {
 	case colInt:

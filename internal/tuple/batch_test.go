@@ -158,9 +158,9 @@ func TestDecodeBatchBinaryCorruptCounts(t *testing.T) {
 		return enc
 	}
 	cases := [][]byte{
-		make1(1<<40, 0, 1),  // huge row count with widths
-		make1(10, 1<<30, 0), // huge column count
-		make1(1<<62, 2, 0),  // row count past MaxInt32
+		make1(1<<40, 0, 1),               // huge row count with widths
+		make1(10, 1<<30, 0),              // huge column count
+		make1(1<<62, 2, 0),               // row count past MaxInt32
 		append(make1(1<<20, 1, 0), 0, 0), // one int column, 2^20 claimed rows, 0 payload
 	}
 	for i, enc := range cases {
@@ -289,13 +289,68 @@ func BenchmarkBatchRowIterate(b *testing.B) {
 		rows[i] = Tuple{int64(i), "user", float64(i), "payload-string-of-some-width"}
 	}
 	batch := BatchOf(rows, 0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for r := 0; r < batch.Len(); r++ {
-			if t := batch.Row(r); len(t) != 4 {
-				b.Fatal("bad row")
+	b.Run("row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < batch.Len(); r++ {
+				if t := batch.Row(r); len(t) != 4 {
+					b.Fatal("bad row")
+				}
 			}
 		}
+	})
+	b.Run("cursor", func(b *testing.B) {
+		b.ReportAllocs()
+		cur := batch.Cursor()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < batch.Len(); r++ {
+				if t := cur.Row(r); len(t) != 4 {
+					b.Fatal("bad row")
+				}
+			}
+		}
+	})
+}
+
+// mixedKindRows forces every column to the boxed (colAny) path, where
+// values come back without a per-access boxing allocation — the shape
+// that isolates the cursor's own allocation behaviour.
+func mixedKindRows(n int) []Tuple {
+	rows := make([]Tuple, n)
+	for i := range rows {
+		rows[i] = Tuple{int64(i), "user", float64(i), "payload-string-of-some-width"}
+	}
+	rows[0] = Tuple{"s", int64(0), "s", int64(0)} // re-home all columns to colAny
+	return rows
+}
+
+// TestRowCursorZeroAlloc pins the cursor feed's contract: iterating a
+// batch through one reusable cursor performs zero allocations per row
+// (over boxed columns), while Batch.Row allocates a fresh tuple every
+// call. This is what makes the engine's warm-split cursor feed
+// zero-copy rather than merely cheaper.
+func TestRowCursorZeroAlloc(t *testing.T) {
+	batch := BatchOf(mixedKindRows(1000), 0)
+	cur := batch.Cursor()
+	perRow := testing.AllocsPerRun(10, func() {
+		for r := 0; r < batch.Len(); r++ {
+			if tp := cur.Row(r); len(tp) != 4 {
+				t.Fatal("bad row")
+			}
+		}
+	}) / float64(batch.Len())
+	if perRow != 0 {
+		t.Fatalf("cursor iteration allocates %.3f per row, want 0", perRow)
+	}
+	rowAllocs := testing.AllocsPerRun(10, func() {
+		for r := 0; r < batch.Len(); r++ {
+			if tp := batch.Row(r); len(tp) != 4 {
+				t.Fatal("bad row")
+			}
+		}
+	}) / float64(batch.Len())
+	if rowAllocs < 1 {
+		t.Fatalf("Batch.Row allocates %.3f per row; the cursor should be the only zero-alloc path", rowAllocs)
 	}
 }
 

@@ -240,6 +240,10 @@ type (
 	// hits, misses, resident bytes, evictions, invalidations, and
 	// shuffle partition replay counts.
 	BatchCacheStats = mapreduce.BatchCacheStats
+	// DeltaStats snapshots incremental maintenance: stored entries
+	// delta-refreshed after input appends, appended bytes read, and
+	// cold recompute bytes avoided.
+	DeltaStats = core.DeltaStats
 )
 
 // The claim fallback modes.
@@ -651,6 +655,16 @@ func (s *System) BatchCacheStats() BatchCacheStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.eng.CacheStats()
+}
+
+// DeltaStats snapshots the driver's incremental-maintenance counters:
+// how many stored entries were delta-refreshed after their inputs grew
+// by appended part files, the appended bytes those refreshes read, and
+// the cold recompute bytes they avoided.
+func (s *System) DeltaStats() DeltaStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.driver.DeltaStats()
 }
 
 // FS exposes the distributed file system.
