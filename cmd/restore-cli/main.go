@@ -6,6 +6,8 @@
 //
 //	restore-cli -query L3                     # run a PigMix query once
 //	restore-cli -query L3 -repeat 3 -reuse -heuristic aggressive
+//	restore-cli -query L3 -repeat 2 -reuse -explain  # reuse-provenance report
+//	restore-cli -query L3 -trace              # dump the span trace as JSON
 //	restore-cli -script myquery.pig -reuse    # run a script from a file
 //	restore-cli -timeout 30s -query L5        # cancel runs exceeding 30s
 //	restore-cli -max-repo-mb 64 -evict lru    # bound the repository
@@ -53,6 +55,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -100,6 +103,9 @@ func main() {
 		dataDirFlag  = flag.String("data-dir", "", "directory of the disk backend's datasets and record log")
 		statsJSON    = flag.Bool("stats-json", false, "print the final stats as one JSON document (the /metrics schema) instead of text")
 		appendFlag   = flag.Int("append-net-days", 0, "append this many daily partitions to the backend's net-traffic flow log and exit (no query runs)")
+		traceFlag    = flag.Bool("trace", false, "print each run's span trace as JSON")
+		explainFlag  = flag.Bool("explain", false, "print each run's reuse-provenance report (which entries were nominated, rejected and why, and what won)")
+		taskSpanFlag = flag.Bool("trace-tasks", false, "record one trace event per finished task (verbose; implies more trace memory)")
 	)
 	flag.Parse()
 
@@ -236,6 +242,7 @@ func main() {
 			KeepWholeJobs:     *wholeFlag,
 			LinearMatch:       *linearFlag,
 			DisableBatchCache: *noBatchCache,
+			TraceTasks:        *taskSpanFlag,
 		}),
 		restore.WithWorkers(*workerFlag),
 	}
@@ -249,7 +256,14 @@ func main() {
 		if *timeoutFlag > 0 {
 			ctx, cancel = context.WithTimeout(ctx, *timeoutFlag)
 		}
-		res, err := sys.ExecuteContext(ctx, script, execOpts...)
+		// Submit + Wait (instead of ExecuteContext) keeps the query
+		// handle so -trace/-explain can read the recorded span tree.
+		q, err := sys.Submit(ctx, script, execOpts...)
+		if err != nil {
+			cancel()
+			fail(err)
+		}
+		res, err := q.Wait()
 		cancel()
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
@@ -278,6 +292,16 @@ func main() {
 					break
 				}
 				fmt.Println("  ", r)
+			}
+		}
+		if *explainFlag {
+			restore.ExplainTrace(os.Stdout, q.Trace())
+		}
+		if *traceFlag {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(q.Trace()); err != nil {
+				fail(err)
 			}
 		}
 	}

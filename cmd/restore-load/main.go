@@ -214,6 +214,12 @@ func main() {
 			report.DeltaRefreshes, report.DeltaRefreshFailed,
 			float64(report.DeltaBytesRead)/(1<<20), float64(report.DeltaColdBytesAvoided)/(1<<20))
 	}
+	if report.ProbeLatency.Count > 0 {
+		fmt.Printf("restore-load: server stages — probe p50 %.2fms p95 %.2fms p99 %.2fms (%d); claim-wait p99 %.2fms (%d); refresh p99 %.2fms (%d)\n",
+			report.ProbeLatency.P50Ms, report.ProbeLatency.P95Ms, report.ProbeLatency.P99Ms, report.ProbeLatency.Count,
+			report.ClaimWaitLatency.P99Ms, report.ClaimWaitLatency.Count,
+			report.RefreshLatency.P99Ms, report.RefreshLatency.Count)
+	}
 	for name, tl := range report.PerTenant {
 		fmt.Printf("restore-load:   %s: %d completed, %d rejected, p50 %.1fms, %d queries with reuse\n",
 			name, tl.Completed, tl.Rejected, tl.LatencyP50Ms, tl.QueriesWithReuse)
@@ -297,6 +303,11 @@ func scrapeBatchCache(ctx context.Context, c *http.Client, addr string, rep *exp
 			DeltaBytesRead   int64 `json:"deltaBytesRead"`
 			ColdBytesAvoided int64 `json:"coldBytesAvoided"`
 		} `json:"delta"`
+		Latency struct {
+			Probe     histDoc `json:"probe"`
+			ClaimWait histDoc `json:"claimWait"`
+			Refresh   histDoc `json:"refresh"`
+		} `json:"latency"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		return
@@ -310,6 +321,23 @@ func scrapeBatchCache(ctx context.Context, c *http.Client, addr string, rep *exp
 	rep.DeltaRefreshFailed = doc.Delta.Failed
 	rep.DeltaBytesRead = doc.Delta.DeltaBytesRead
 	rep.DeltaColdBytesAvoided = doc.Delta.ColdBytesAvoided
+	rep.ProbeLatency = doc.Latency.Probe.stage()
+	rep.ClaimWaitLatency = doc.Latency.ClaimWait.stage()
+	rep.RefreshLatency = doc.Latency.Refresh.stage()
+}
+
+// histDoc is the slice of a /metrics histogram snapshot the harness
+// keeps: the precomputed percentiles, interpolated server-side from the
+// cumulative buckets.
+type histDoc struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50Ms"`
+	P95Ms float64 `json:"p95Ms"`
+	P99Ms float64 `json:"p99Ms"`
+}
+
+func (h histDoc) stage() exp.StageLatency {
+	return exp.StageLatency{Count: h.Count, P50Ms: h.P50Ms, P95Ms: h.P95Ms, P99Ms: h.P99Ms}
 }
 
 func openSession(ctx context.Context, c *http.Client, addr, tenant string) (string, error) {

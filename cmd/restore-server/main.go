@@ -33,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -107,6 +108,9 @@ func main() {
 		backendFlag  = flag.String("backend", "memory", "DFS backend: memory (volatile) or disk (persistent, needs -data-dir)")
 		dataDirFlag  = flag.String("data-dir", "", "directory of the disk backend's datasets and record log")
 		drainFlag    = flag.Duration("drain-timeout", 30*time.Second, "grace period before live queries are hard-cancelled on shutdown")
+		slowMSFlag   = flag.Int("slow-query-ms", 0, "retain traces of queries at least this slow at /debug/slow (0 = off)")
+		slowRingFlag = flag.Int("slow-ring", 64, "slow-query records retained")
+		pprofFlag    = flag.Bool("pprof", true, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -197,13 +201,28 @@ func main() {
 			KeepWholeJobs: *wholeFlag,
 			LinearMatch:   *linearFlag,
 		},
-		DefaultWorkers: *workerFlag,
-		RetryAfter:     *retryFlag,
-		StreamInterval: *streamFlag,
-		RetainDone:     *retainFlag,
+		DefaultWorkers:     *workerFlag,
+		RetryAfter:         *retryFlag,
+		StreamInterval:     *streamFlag,
+		RetainDone:         *retainFlag,
+		SlowQueryThreshold: time.Duration(*slowMSFlag) * time.Millisecond,
+		SlowRingSize:       *slowRingFlag,
 	})
 
-	httpSrv := &http.Server{Addr: *listenFlag, Handler: srv.Handler()}
+	// The pprof handlers mount on an outer mux wrapping the API so the
+	// service package stays free of debug endpoints.
+	handler := srv.Handler()
+	if *pprofFlag {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+	}
+	httpSrv := &http.Server{Addr: *listenFlag, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/logical"
 	"repro/internal/mrcompile"
+	"repro/internal/obs"
 	"repro/internal/physical"
 	"repro/internal/piglatin"
 )
@@ -144,7 +145,7 @@ store R into 'out/miss';
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rw := &Rewriter{Repo: repo, FS: fs, LinearScan: linear}
-			res := rw.findBestMatch(job, false)
+			res := rw.findBestMatch(job, false, obs.NoSpan)
 			if res != nil {
 				repo.Unpin(res.Entry.ID)
 			}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/physical"
 )
 
@@ -75,6 +76,13 @@ type ExecConfig struct {
 	// execution time accumulated so far (the job's final Equation 1 time
 	// on the last call). Same calling discipline as OnJobState.
 	OnJobProgress func(jobID string, done, total int, sim time.Duration)
+	// Trace, when non-nil, records this execution's span tree: per-job
+	// rewrite probes with candidate-level decision provenance, claim
+	// waits, delta refreshes, engine executions and STORE commits. A
+	// nil Trace records nothing and costs nothing (every recording call
+	// is a nil-receiver no-op), so traced and untraced executions are
+	// SimTime- and byte-identical.
+	Trace *obs.Trace
 }
 
 // ClaimFallback selects what an execution does when a claim it was
@@ -140,6 +148,18 @@ type Options struct {
 	// either way (differential-tested); the flag exists for that suite
 	// and as a per-query escape hatch.
 	DisableBatchCache bool
+	// DisableTrace opts this execution out of per-query span tracing:
+	// the query handle carries no Trace and every recording call on the
+	// execution path no-ops. Latency histograms still record. Traced
+	// and untraced runs are SimTime- and DFS-byte-identical
+	// (differential-tested); the flag exists for that suite and for
+	// callers that want the last few allocations back.
+	DisableTrace bool
+	// TraceTasks additionally records a span per task-completion
+	// callback under each job.exec span. Off by default: a large job
+	// has thousands of tasks and the per-task spans dominate the
+	// arena.
+	TraceTasks bool
 }
 
 // storesAnything reports whether this configuration writes repository
@@ -223,6 +243,11 @@ type Driver struct {
 	// calls are in flight.
 	Admission chan struct{}
 
+	// Metrics aggregates wall-latency histograms (submit→done, probe,
+	// claim-wait, refresh) across every execution. NewDriver
+	// initializes it; a nil Metrics is safe (recording no-ops).
+	Metrics *obs.Metrics
+
 	// delta counts the incremental-maintenance activity (see
 	// DeltaStats): entries delta-refreshed, appended bytes read, cold
 	// recompute bytes avoided.
@@ -238,7 +263,7 @@ type Driver struct {
 // NewDriver returns a driver over the engine and repository, with a
 // storage manager carrying no byte budget.
 func NewDriver(eng *mapreduce.Engine, repo *Repository, opts Options) *Driver {
-	return &Driver{Engine: eng, Repo: repo, Opts: opts, Store: NewStorageManager(repo, eng.FS(), 0, nil)}
+	return &Driver{Engine: eng, Repo: repo, Opts: opts, Store: NewStorageManager(repo, eng.FS(), 0, nil), Metrics: obs.NewMetrics()}
 }
 
 // namespace returns the per-query path prefix for kind ("restore" or
@@ -344,7 +369,24 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 		res.FinalOutputs[p] = v
 	}
 
-	rewriter := &Rewriter{Repo: repo, FS: eng.FS(), LinearScan: opts.LinearMatch}
+	tr := cfg.Trace
+	root := tr.Root()
+	// jobSpans lets the Refresher closure — created once per execution,
+	// without job context — parent its refresh span under the probing
+	// job's span. Written at each job's dispatch, read under wfMu when
+	// a probe triggers a refresh; only traced executions populate it.
+	var spanMu sync.Mutex
+	jobSpans := map[string]obs.SpanID{}
+	jobSpanOf := func(jobID string) obs.SpanID {
+		spanMu.Lock()
+		defer spanMu.Unlock()
+		if id, ok := jobSpans[jobID]; ok {
+			return id
+		}
+		return obs.NoSpan
+	}
+
+	rewriter := &Rewriter{Repo: repo, FS: eng.FS(), LinearScan: opts.LinearMatch, Trace: tr, Metrics: d.Metrics}
 	// Incremental maintenance: when the matcher's only candidate is a
 	// stale-but-mergeable entry whose inputs merely grew, refresh it
 	// from the appended slice instead of recomputing cold. The hook
@@ -358,7 +400,17 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 	// so a refreshed reuse is never reported as free.
 	var refreshSim atomic.Int64
 	rewriter.Refresher = func(cand RefreshCandidate) *Entry {
-		e, spent := d.refreshEntry(ctx, eng, repo, store, opts, queryID, cand)
+		refreshSpan := tr.Start(jobSpanOf(cand.Job.ID), obs.KindRefresh, cand.Match.Entry.ID)
+		refreshStart := time.Now()
+		e, spent := d.refreshEntry(ctx, eng, repo, store, opts, queryID, cand, tr, refreshSpan)
+		d.Metrics.ObserveRefresh(time.Since(refreshStart))
+		tr.Sim(refreshSpan, spent)
+		if e == nil {
+			tr.Note(refreshSpan, "failed — cold fallback")
+		} else {
+			tr.Note(refreshSpan, "refreshed")
+		}
+		tr.End(refreshSpan)
 		refreshSim.Add(int64(spent))
 		return e
 	}
@@ -460,6 +512,13 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 		}
 		out := &outcomes[slot[job.ID]]
 		notify(job.ID, JobRunning)
+		jobSpan := tr.Start(root, obs.KindJob, job.ID)
+		if tr != nil {
+			spanMu.Lock()
+			jobSpans[job.ID] = jobSpan
+			spanMu.Unlock()
+		}
+		defer tr.End(jobSpan)
 
 		// held maps claimed plan fingerprints to the claims this job
 		// won; every exit path must Commit or Abort them all.
@@ -482,7 +541,7 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 			wfMu.Lock()
 			_, isFinal := finalJob[job.ID]
 			if opts.Reuse {
-				events := rewriter.RewriteJob(job, !isFinal)
+				events := rewriter.RewriteJobTraced(job, !isFinal, jobSpan)
 				for _, ev := range events {
 					pinned = append(pinned, ev.EntryID)
 					repo.NoteReuse(ev.entry, d.Now())
@@ -499,6 +558,7 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 					out.reusedWhole = true
 					wfMu.Unlock()
 					abortHeld()
+					tr.Note(jobSpan, "whole job reused — never executed")
 					notify(job.ID, JobReused)
 					return nil
 				}
@@ -560,6 +620,7 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 				order = append(order, fp)
 			}
 			sort.Strings(order)
+			acqSpan := tr.Start(jobSpan, obs.KindClaimAcquire, job.ID)
 			var waitOn *Claim
 			for _, fp := range order {
 				if held[fp] != nil || independent[fp] {
@@ -572,6 +633,10 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 					break
 				}
 			}
+			if tr != nil {
+				tr.Note(acqSpan, fmt.Sprintf("%d fingerprint(s) wanted, %d held", len(order), len(held)))
+			}
+			tr.End(acqSpan)
 			if waitOn == nil {
 				injectable = targets
 				break
@@ -599,7 +664,11 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 					delete(held, fp)
 				}
 			}
+			waitSpan := tr.Start(jobSpan, obs.KindClaimWait, waitOn.Fingerprint())
+			waitStart := time.Now()
 			entry, err := store.WaitShared(ctx, waitOn)
+			d.Metrics.ObserveClaimWait(time.Since(waitStart))
+			tr.End(waitSpan)
 			if err != nil {
 				abortHeld()
 				notify(job.ID, JobCanceled)
@@ -619,12 +688,23 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 
 		candidates := append(existing, enum.Inject(job, injectable)...)
 
+		execSpan := tr.Start(jobSpan, obs.KindJobExec, job.ID)
+		onProgress := func(done, total int, sim time.Duration) {
+			progress(job.ID, done, total, sim)
+		}
+		if tr.TaskSpans() {
+			inner := onProgress
+			onProgress = func(done, total int, sim time.Duration) {
+				tr.Event(execSpan, obs.KindTask,
+					fmt.Sprintf("%s task %d/%d", job.ID, done, total), sim.String())
+				inner(done, total, sim)
+			}
+		}
 		stats, err := eng.RunContextOpts(ctx, job, mapreduce.RunOptions{
-			Progress: func(done, total int, sim time.Duration) {
-				progress(job.ID, done, total, sim)
-			},
+			Progress:          onProgress,
 			DisableBatchCache: opts.DisableBatchCache,
 		})
+		tr.End(execSpan)
 		if err != nil {
 			abortHeld()
 			if ctx.Err() != nil {
@@ -634,6 +714,8 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 			}
 			return fmt.Errorf("core: executing %s/%s: %w", queryID, job.ID, err)
 		}
+		tr.Sim(execSpan, stats.SimTime)
+		tr.Bytes(execSpan, stats.InputSimBytes, stats.OutputSimBytes)
 		out.stats = stats
 		out.stored, out.deferred, out.extraBytes = d.register(opts, eng, repo, job, cleanPlan, candidates, stats, finalJob[job.ID])
 
@@ -678,7 +760,9 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 	// to one path leave it holding exactly one query's complete dataset.
 	committedVer := make(map[string]int64, len(staged)) // user path -> version
 	for stage, user := range staged {
+		commitSpan := tr.Start(root, obs.KindStoreCommit, user)
 		v, err := eng.FS().Rename(stage, user)
+		tr.End(commitSpan)
 		if err != nil {
 			return nil, fmt.Errorf("core: committing %s output %s: %w", queryID, user, err)
 		}
@@ -750,6 +834,8 @@ func (d *Driver) ExecuteContext(ctx context.Context, wf *physical.Workflow, quer
 	}
 
 	res.WallTime = time.Since(start)
+	tr.Sim(root, res.SimTime)
+	d.Metrics.ObserveQuery(res.WallTime)
 	return res, nil
 }
 

@@ -227,12 +227,17 @@ func (ix *planIndex) footprintFor(e *Entry) *footprint {
 // candidates returns, in scan order, the entries whose footprint is a
 // subset of the probing job's signature sets: every entry the
 // sequential scan could match, and usually only a handful of them.
-func (ix *planIndex) candidates(sigCount map[string]int, loadSet map[string]bool) []*Entry {
+// missed, when non-nil, observes each entry that shared a frontier
+// signature with the job but was rejected by the footprint-subset
+// prefilter (trace provenance; nil on the untraced path).
+func (ix *planIndex) candidates(sigCount map[string]int, loadSet map[string]bool, missed func(e *Entry)) []*Entry {
 	var out []*Entry
 	for sig := range sigCount {
 		for _, e := range ix.postings[sig] {
 			if ix.meta[e].within(sigCount, loadSet) {
 				out = append(out, e)
+			} else if missed != nil {
+				missed(e)
 			}
 		}
 	}

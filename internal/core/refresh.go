@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dfs"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/physical"
 )
 
@@ -92,9 +93,13 @@ func stampMergeable(fs dfs.Backend, e *Entry, plan *physical.Plan) {
 // the same delta twice; the loser goes cold (its own materialization
 // heuristics may still store a fresh copy, which replaces the entry
 // just like the refresh would).
-func (d *Driver) refreshEntry(ctx context.Context, eng *mapreduce.Engine, repo *Repository, store *StorageManager, opts Options, queryID string, cand RefreshCandidate) (*Entry, time.Duration) {
+func (d *Driver) refreshEntry(ctx context.Context, eng *mapreduce.Engine, repo *Repository, store *StorageManager, opts Options, queryID string, cand RefreshCandidate, tr *obs.Trace, span obs.SpanID) (*Entry, time.Duration) {
 	e := cand.Match.Entry
 	fs := eng.FS()
+	if tr != nil {
+		tr.Event(span, obs.KindRefreshClassify, e.ID,
+			fmt.Sprintf("%d input(s) grew by pure append", len(cand.Growth)))
+	}
 
 	var spent time.Duration
 	var claim *Claim
@@ -145,11 +150,15 @@ func (d *Driver) refreshEntry(ctx context.Context, eng *mapreduce.Engine, repo *
 		OutputPath:  deltaPath,
 		NumReducers: cand.Job.NumReducers,
 	}
+	deltaSpan := tr.Start(span, obs.KindRefreshDelta, djob.ID)
 	dstats, err := eng.RunContextOpts(ctx, djob, mapreduce.RunOptions{DisableBatchCache: opts.DisableBatchCache})
+	tr.End(deltaSpan)
 	if err != nil {
 		_ = fs.Delete(deltaPath)
 		return fail(), spent
 	}
+	tr.Sim(deltaSpan, dstats.SimTime)
+	tr.Bytes(deltaSpan, deltaBytes, dstats.OutputSimBytes)
 	spent += dstats.SimTime
 
 	mjob := &physical.Job{
@@ -158,12 +167,16 @@ func (d *Driver) refreshEntry(ctx context.Context, eng *mapreduce.Engine, repo *
 		OutputPath:  mergedPath,
 		NumReducers: cand.Job.NumReducers,
 	}
+	mergeSpan := tr.Start(span, obs.KindRefreshMerge, mjob.ID)
 	mstats, err := eng.RunContextOpts(ctx, mjob, mapreduce.RunOptions{DisableBatchCache: opts.DisableBatchCache})
+	tr.End(mergeSpan)
 	_ = fs.Delete(deltaPath)
 	if err != nil {
 		_ = fs.Delete(mergedPath)
 		return fail(), spent
 	}
+	tr.Sim(mergeSpan, mstats.SimTime)
+	tr.Bytes(mergeSpan, dstats.OutputSimBytes+e.Stats.OutputSimBytes, mstats.OutputSimBytes)
 	spent += mstats.SimTime
 	// The merge read the stored output unlocked; if a concurrent writer
 	// replaced it mid-merge, the merged result mixes versions. The

@@ -347,10 +347,18 @@ func (r *Repository) Scan(fn func(e *Entry) bool) {
 // the first fn match equals the first Scan match; fn must not call back
 // into the repository.
 func (r *Repository) Probe(job PlanSig, fn func(e *Entry) bool) {
+	r.ProbeObserved(job, fn, nil)
+}
+
+// ProbeObserved is Probe with decision provenance: missed, when
+// non-nil, is called for each entry the index looked at but rejected
+// on the footprint-subset prefilter — the "footprint miss" verdict a
+// query trace records. The untraced path passes nil and pays nothing.
+func (r *Repository) ProbeObserved(job PlanSig, fn func(e *Entry) bool, missed func(e *Entry)) {
 	sigSet, loadSet := probeSets(job)
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	cands := r.index.candidates(sigSet, loadSet)
+	cands := r.index.candidates(sigSet, loadSet, missed)
 	r.probes.Add(1)
 	r.probeCandidates.Add(int64(len(cands)))
 	for _, e := range cands {

@@ -2,8 +2,10 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/dfs"
+	"repro/internal/obs"
 	"repro/internal/physical"
 )
 
@@ -53,6 +55,17 @@ type Rewriter struct {
 	// under the repository lock — because it executes jobs and inserts
 	// entries. The driver installs it.
 	Refresher func(cand RefreshCandidate) *Entry
+
+	// Trace, when non-nil, receives the matcher's decision provenance:
+	// a probe span per matching round with one probe.candidate child
+	// per entry considered, carrying its verdict (footprint-miss,
+	// invalid, neg-cache, containment-fail, … win), and a reuse span
+	// per rewrite applied. A nil Trace records nothing.
+	Trace *obs.Trace
+	// Metrics, when non-nil, receives each probe's wall latency. The
+	// driver installs its Metrics; histograms record even when the
+	// individual query is untraced.
+	Metrics *obs.Metrics
 
 	// negMu guards neg, the submission-scoped memo of failed
 	// containment tests. Entries are immutable — re-registration swaps
@@ -190,13 +203,21 @@ type RewriteEvent struct {
 // freshly materialized, so final jobs reuse sub-plans only — which is
 // why the paper evaluates whole-job reuse on multi-job workflows.
 func (rw *Rewriter) RewriteJob(job *physical.Job, allowWhole bool) []RewriteEvent {
+	return rw.RewriteJobTraced(job, allowWhole, obs.NoSpan)
+}
+
+// RewriteJobTraced is RewriteJob recording its probes and rewrites as
+// spans under parent on the Rewriter's Trace. With a nil Trace it is
+// exactly RewriteJob.
+func (rw *Rewriter) RewriteJobTraced(job *physical.Job, allowWhole bool, parent obs.SpanID) []RewriteEvent {
 	var events []RewriteEvent
 	for {
-		res := rw.findBestMatch(job, allowWhole)
+		res := rw.findBestMatch(job, allowWhole, parent)
 		if res == nil {
 			return events
 		}
 		before := job.Plan.Len()
+		rw.noteReuseSpan(parent, res)
 		if res.WholePlan {
 			// Whole-job reuse: the caller removes the job; the plan is
 			// also rewritten into Load(stored) -> Store as a fallback.
@@ -217,6 +238,22 @@ func (rw *Rewriter) RewriteJob(job *physical.Job, allowWhole bool) []RewriteEven
 	}
 }
 
+// noteReuseSpan records one applied rewrite: which entry won and the
+// stored input bytes reading its output avoids re-scanning.
+func (rw *Rewriter) noteReuseSpan(parent obs.SpanID, res *MatchResult) {
+	if rw.Trace == nil {
+		return
+	}
+	span := rw.Trace.Start(parent, obs.KindReuse, res.Entry.ID)
+	what := "sub-plan"
+	if res.WholePlan {
+		what = "whole job"
+	}
+	rw.Trace.Note(span, what)
+	rw.Trace.Bytes(span, res.Entry.Stats.InputSimBytes, res.Entry.Stats.OutputSimBytes)
+	rw.Trace.End(span)
+}
+
 // findBestMatch returns the first valid entry contained in the job's
 // plan, in repository preference order. Because candidates arrive
 // ordered by Rules 1 and 2 (Section 3), the first match is the best
@@ -224,7 +261,9 @@ func (rw *Rewriter) RewriteJob(job *physical.Job, allowWhole bool) []RewriteEven
 // released, so a concurrent Vacuum cannot delete its stored output
 // before the rewritten job runs; the driver unpins when the execution
 // finishes.
-func (rw *Rewriter) findBestMatch(job *physical.Job, allowWhole bool) *MatchResult {
+func (rw *Rewriter) findBestMatch(job *physical.Job, allowWhole bool, parent obs.SpanID) *MatchResult {
+	probeStart := time.Now()
+	probeSpan := rw.Trace.Start(parent, obs.KindProbe, job.ID)
 	jobSig := SigOf(job.Plan)
 	jobFP := jobSig.Fingerprint()
 	mainStoreInput := -1
@@ -246,10 +285,12 @@ func (rw *Rewriter) findBestMatch(job *physical.Job, allowWhole bool) *MatchResu
 			// cold. Only the first such candidate is kept — it arrives
 			// in preference order, like matches.
 			if rw.Refresher == nil || refresh != nil {
+				rw.Trace.Event(probeSpan, obs.KindCandidate, e.ID, obs.ReasonInvalid)
 				return true
 			}
 			growth, refreshable = rw.refreshableGrowth(e)
 			if !refreshable {
+				rw.Trace.Event(probeSpan, obs.KindCandidate, e.ID, obs.ReasonInvalid)
 				return true
 			}
 		}
@@ -261,6 +302,7 @@ func (rw *Rewriter) findBestMatch(job *physical.Job, allowWhole bool) *MatchResu
 		k := negKey{entry: e, jobFP: jobFP}
 		if rw.negCached(k) {
 			negHits++
+			rw.Trace.Event(probeSpan, obs.KindCandidate, e.ID, obs.ReasonNegCache)
 			return true
 		}
 		// The shared cross-query cache is consulted after the local memo
@@ -269,6 +311,7 @@ func (rw *Rewriter) findBestMatch(job *physical.Job, allowWhole bool) *MatchResu
 		// skip traversals their predecessors already paid for.
 		if rw.Repo.sharedNegCached(k) {
 			rw.cacheNeg(k)
+			rw.Trace.Event(probeSpan, obs.KindCandidate, e.ID, obs.ReasonSharedNegCache)
 			return true
 		}
 		traversals++
@@ -276,25 +319,38 @@ func (rw *Rewriter) findBestMatch(job *physical.Job, allowWhole bool) *MatchResu
 		if !ok {
 			rw.cacheNeg(k)
 			rw.Repo.cacheSharedNeg(k)
+			rw.Trace.Event(probeSpan, obs.KindCandidate, e.ID, obs.ReasonContainmentFail)
 			return true
 		}
 		if res.WholePlan && !allowWhole {
+			rw.Trace.Event(probeSpan, obs.KindCandidate, e.ID, obs.ReasonWholePlanSkipped)
 			return true
 		}
 		rw.Repo.Pin(e.ID)
 		if refreshable {
 			refresh = &RefreshCandidate{Job: job, Match: res, Growth: growth}
+			rw.Trace.Event(probeSpan, obs.KindCandidate, e.ID, obs.ReasonRefreshCandidate)
 			return true // keep scanning: a valid match beats a refresh
 		}
 		found = res
+		rw.Trace.Event(probeSpan, obs.KindCandidate, e.ID, obs.ReasonWin)
 		return false
 	}
 	if rw.LinearScan {
 		rw.Repo.Scan(visit)
 		rw.Repo.noteScan(visited)
-	} else {
+	} else if rw.Trace == nil {
 		rw.Repo.Probe(jobSig, visit)
+	} else {
+		// Traced probes additionally observe the entries the signature
+		// index nominated but rejected on the footprint prefilter —
+		// the provenance a linear scan has no notion of.
+		rw.Repo.ProbeObserved(jobSig, visit, func(e *Entry) {
+			rw.Trace.Event(probeSpan, obs.KindCandidate, e.ID, obs.ReasonFootprintMiss)
+		})
 	}
+	rw.Metrics.ObserveProbe(time.Since(probeStart))
+	rw.Trace.End(probeSpan)
 	rw.Repo.noteMatchWork(traversals, negHits, found != nil)
 	if found != nil {
 		if refresh != nil {

@@ -94,8 +94,26 @@ type LoadReport struct {
 	DeltaBytesRead        int64 `json:"deltaBytesRead"`
 	DeltaColdBytesAvoided int64 `json:"deltaColdBytesAvoided"`
 
+	// Server-side stage-latency breakdown scraped from the /metrics
+	// histograms after the run: where a query's wall time went —
+	// matcher probes, claim waits and delta refreshes. Always emitted
+	// (zero counts when the harness could not scrape) so dashboards can
+	// rely on the columns.
+	ProbeLatency     StageLatency `json:"probeLatency"`
+	ClaimWaitLatency StageLatency `json:"claimWaitLatency"`
+	RefreshLatency   StageLatency `json:"refreshLatency"`
+
 	// PerTenant breaks the traffic down by tenant.
 	PerTenant map[string]*TenantLoad `json:"perTenant,omitempty"`
+}
+
+// StageLatency is one server-side histogram's percentile summary, as
+// interpolated from the cumulative buckets at scrape time.
+type StageLatency struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50Ms"`
+	P95Ms float64 `json:"p95Ms"`
+	P99Ms float64 `json:"p99Ms"`
 }
 
 // TenantLoad is one tenant's slice of a load run.

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of finite exponential buckets: upper
+// bounds double from 100µs, so the last finite bound is
+// 100µs · 2¹⁹ ≈ 52s. Observations beyond it land in the overflow
+// bucket and report the tracked max.
+const histBuckets = 20
+
+// bucketBound returns bucket i's upper bound.
+func bucketBound(i int) time.Duration {
+	return 100 * time.Microsecond << uint(i)
+}
+
+// Histogram is a fixed-bucket exponential wall-latency histogram.
+// Observe is lock-free (atomic adds); the zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	maxNs   atomic.Int64
+	buckets [histBuckets + 1]atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+	for {
+		old := h.maxNs.Load()
+		if int64(d) <= old || h.maxNs.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+	i := 0
+	for i < histBuckets && d > bucketBound(i) {
+		i++
+	}
+	h.buckets[i].Add(1)
+}
+
+// HistBucket is one cumulative bucket of a snapshot: the count of
+// samples at or under LeMs milliseconds. The overflow (+Inf) bucket is
+// implicit — it equals Count.
+type HistBucket struct {
+	LeMs  float64 `json:"leMs"`
+	Count int64   `json:"count"`
+}
+
+// HistSnapshot is a point-in-time view of a Histogram with percentiles
+// interpolated from the bucket counts.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	SumMs   float64      `json:"sumMs"`
+	MaxMs   float64      `json:"maxMs"`
+	P50Ms   float64      `json:"p50Ms"`
+	P95Ms   float64      `json:"p95Ms"`
+	P99Ms   float64      `json:"p99Ms"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram. Concurrent Observes may straddle
+// the capture; each bucket is individually consistent.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		SumMs: ms(time.Duration(h.sumNs.Load())),
+		MaxMs: ms(time.Duration(h.maxNs.Load())),
+	}
+	var counts [histBuckets + 1]int64
+	var cum int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		if i < histBuckets {
+			cum += counts[i]
+			s.Buckets = append(s.Buckets, HistBucket{LeMs: ms(bucketBound(i)), Count: cum})
+		}
+	}
+	s.P50Ms = percentile(counts, s.Count, s.MaxMs, 0.50)
+	s.P95Ms = percentile(counts, s.Count, s.MaxMs, 0.95)
+	s.P99Ms = percentile(counts, s.Count, s.MaxMs, 0.99)
+	return s
+}
+
+// percentile interpolates linearly inside the bucket holding the
+// target rank; the overflow bucket reports the tracked max.
+func percentile(counts [histBuckets + 1]int64, total int64, maxMs float64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := 0; i <= histBuckets; i++ {
+		c := float64(counts[i])
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			if i == histBuckets {
+				return maxMs
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = ms(bucketBound(i - 1))
+			}
+			hi := ms(bucketBound(i))
+			frac := (target - cum) / c
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return maxMs
+}
+
+// WritePrometheus emits the snapshot as one Prometheus histogram
+// family (seconds, cumulative buckets, +Inf, sum, count).
+func (s HistSnapshot) WritePrometheus(w io.Writer, name string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for _, b := range s.Buckets {
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b.LeMs/1000, b.Count)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, s.SumMs/1000)
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}
+
+// Metrics aggregates the driver's wall-latency histograms. Histograms
+// record regardless of whether the individual query carries a Trace.
+type Metrics struct {
+	Query     Histogram
+	Probe     Histogram
+	ClaimWait Histogram
+	Refresh   Histogram
+}
+
+// NewMetrics builds an empty Metrics.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// ObserveQuery records one submit→done latency. Nil-safe.
+func (m *Metrics) ObserveQuery(d time.Duration) {
+	if m != nil {
+		m.Query.Observe(d)
+	}
+}
+
+// ObserveProbe records one matcher-probe latency. Nil-safe.
+func (m *Metrics) ObserveProbe(d time.Duration) {
+	if m != nil {
+		m.Probe.Observe(d)
+	}
+}
+
+// ObserveClaimWait records one wait on a shared claim. Nil-safe.
+func (m *Metrics) ObserveClaimWait(d time.Duration) {
+	if m != nil {
+		m.ClaimWait.Observe(d)
+	}
+}
+
+// ObserveRefresh records one delta-refresh latency. Nil-safe.
+func (m *Metrics) ObserveRefresh(d time.Duration) {
+	if m != nil {
+		m.Refresh.Observe(d)
+	}
+}
+
+// LatencySnapshot is the JSON form of Metrics, one stage histogram
+// per field.
+type LatencySnapshot struct {
+	Query     HistSnapshot `json:"query"`
+	Probe     HistSnapshot `json:"probe"`
+	ClaimWait HistSnapshot `json:"claimWait"`
+	Refresh   HistSnapshot `json:"refresh"`
+}
+
+// Snapshot captures every histogram. Nil-safe (zero snapshot).
+func (m *Metrics) Snapshot() LatencySnapshot {
+	if m == nil {
+		return LatencySnapshot{}
+	}
+	return LatencySnapshot{
+		Query:     m.Query.Snapshot(),
+		Probe:     m.Probe.Snapshot(),
+		ClaimWait: m.ClaimWait.Snapshot(),
+		Refresh:   m.Refresh.Snapshot(),
+	}
+}

@@ -71,6 +71,13 @@ type Config struct {
 	// GET /queries/{id}; the oldest are forgotten beyond it (zero means
 	// 4096).
 	RetainDone int
+	// SlowQueryThreshold, when positive, makes the server retain the
+	// trace of every finished query whose wall time met the threshold
+	// in a bounded ring served at GET /debug/slow (restore-server
+	// -slow-query-ms).
+	SlowQueryThreshold time.Duration
+	// SlowRingSize bounds the slow-query ring (zero means 64).
+	SlowRingSize int
 }
 
 func (c Config) resolved() Config {
@@ -86,6 +93,9 @@ func (c Config) resolved() Config {
 	if c.RetainDone <= 0 {
 		c.RetainDone = 4096
 	}
+	if c.SlowRingSize <= 0 {
+		c.SlowRingSize = 64
+	}
 	return c
 }
 
@@ -100,6 +110,9 @@ type QueryHandle interface {
 	Done() <-chan struct{}
 	Wait() (*restore.Result, error)
 	Status() restore.QueryStatus
+	// Trace snapshots the query's span trace; nil when tracing is
+	// disabled for the query.
+	Trace() *restore.TraceSnapshot
 }
 
 // Engine is the submission surface the server serves; *restore.System
@@ -148,6 +161,7 @@ type Server struct {
 	nquery   int64
 	meter    *serviceMeter
 	sessMade int64
+	slow     *slowRing
 
 	drain sync.WaitGroup
 }
@@ -167,6 +181,7 @@ func NewServerEngine(eng Engine, cfg Config) *Server {
 		sessions: map[string]*session{},
 		queries:  map[string]*servedQuery{},
 		meter:    newServiceMeter(),
+		slow:     newSlowRing(cfg.SlowRingSize),
 	}
 }
 
@@ -317,6 +332,10 @@ type QueryInfo struct {
 	SimTimeMs  float64           `json:"simTimeMs,omitempty"`
 	ElapsedMs  float64           `json:"elapsedMs"`
 	Result     *ResultSummary    `json:"result,omitempty"`
+	// Trace is the query's span tree; attached only to the terminal
+	// record of the /events NDJSON stream (and absent when tracing was
+	// disabled), so pollers never pay for it mid-flight.
+	Trace *restore.TraceSnapshot `json:"trace,omitempty"`
 }
 
 func (sq *servedQuery) info() QueryInfo {
@@ -352,6 +371,18 @@ func (sq *servedQuery) info() QueryInfo {
 	}
 	inf.Result = summarize(sq.res)
 	return inf
+}
+
+// trace snapshots the underlying query's span tree; nil while still
+// queued or when tracing is disabled.
+func (sq *servedQuery) trace() *restore.TraceSnapshot {
+	sq.mu.Lock()
+	q := sq.q
+	sq.mu.Unlock()
+	if q == nil {
+		return nil
+	}
+	return q.Trace()
 }
 
 // submitRequest is the POST /queries body. Script and Query are
@@ -399,12 +430,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /queries", s.handleSubmit)
 	mux.HandleFunc("GET /queries", s.handleQueryList)
 	mux.HandleFunc("GET /queries/{id}", s.handleQueryGet)
+	mux.HandleFunc("GET /queries/{id}/trace", s.handleQueryTrace)
 	mux.HandleFunc("GET /queries/{id}/events", s.handleQueryEvents)
 	mux.HandleFunc("GET /queries/{id}/result", s.handleQueryResult)
 	mux.HandleFunc("GET /queries/{id}/output", s.handleQueryOutput)
 	mux.HandleFunc("DELETE /queries/{id}", s.handleQueryCancel)
 	mux.HandleFunc("POST /cancel", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/slow", s.handleSlowLog)
 	return mux
 }
 
@@ -633,8 +666,20 @@ func (s *Server) finish(sq *servedQuery, quota TenantQuota, res *restore.Result,
 	sq.res = res
 	sq.err = err
 	sq.finished = time.Now()
+	wall := sq.finished.Sub(sq.start)
 	sq.mu.Unlock()
 	close(sq.done)
+
+	if thr := s.cfg.SlowQueryThreshold; thr > 0 && wall >= thr {
+		s.slow.add(SlowQuery{
+			ID:     sq.id,
+			Tenant: sq.tenant,
+			Tag:    sq.tag,
+			State:  state,
+			WallMs: float64(wall) / float64(time.Millisecond),
+			Trace:  sq.trace(),
+		})
+	}
 
 	s.mu.Lock()
 	s.meter.add(sq.tenant, quota, func(c *TenantCounters) {
@@ -703,6 +748,29 @@ func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sq.info())
 }
 
+// handleQueryTrace serves the query's span tree as JSON — point-in-time
+// while running, complete once done. 409 when the query recorded no
+// trace (tracing disabled, or not yet submitted to the engine).
+func (s *Server) handleQueryTrace(w http.ResponseWriter, r *http.Request) {
+	sq := s.lookup(r.PathValue("id"))
+	if sq == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown query %q", r.PathValue("id")))
+		return
+	}
+	tr := sq.trace()
+	if tr == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("query %s has no trace", sq.id))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
+// handleSlowLog serves the bounded ring of slow-query records (newest
+// first); empty unless Config.SlowQueryThreshold is set.
+func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slow.snapshot())
+}
+
 // handleQueryEvents streams the query's status as NDJSON: one record
 // per change (sampled every StreamInterval), a final record at
 // completion, then EOF.
@@ -722,8 +790,14 @@ func (s *Server) handleQueryEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	var last []byte
-	emit := func() {
-		b, err := json.Marshal(sq.info())
+	emit := func(final bool) {
+		inf := sq.info()
+		if final {
+			// The terminal record carries the full span trace so one
+			// streaming client gets status and provenance in one pass.
+			inf.Trace = sq.trace()
+		}
+		b, err := json.Marshal(inf)
 		if err != nil || bytes.Equal(b, last) {
 			return
 		}
@@ -733,18 +807,18 @@ func (s *Server) handleQueryEvents(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	emit()
+	emit(false)
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-sq.done:
-			emit()
+			emit(true)
 			return
 		case <-r.Context().Done():
 			return
 		case <-t.C:
-			emit()
+			emit(false)
 		}
 	}
 }
@@ -854,5 +928,11 @@ func (s *Server) Stats() StatsBundle {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		s.Stats().WritePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Stats())
 }

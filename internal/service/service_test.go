@@ -45,6 +45,13 @@ func (q *fakeQuery) Wait() (*restore.Result, error) {
 func (q *fakeQuery) Status() restore.QueryStatus {
 	return restore.QueryStatus{ID: q.id}
 }
+func (q *fakeQuery) Trace() *restore.TraceSnapshot {
+	return &restore.TraceSnapshot{
+		QueryID: q.id,
+		WallMs:  1.5,
+		Spans:   []*restore.TraceSpan{{Kind: "submit", WallMs: 1.5}},
+	}
+}
 
 type fakeEngine struct {
 	mu     sync.Mutex
@@ -83,7 +90,28 @@ func (e *fakeEngine) Submit(ctx context.Context, script string, opts ...restore.
 
 func (e *fakeEngine) release() { close(e.gate) }
 
-func (e *fakeEngine) Stats() StatsBundle { return StatsBundle{} }
+// Stats returns canned, distinguishable values in every subsystem so
+// /metrics field-plumbing regressions (a renamed JSON key, a dropped
+// field) fail tests instead of silently serving zeros.
+func (e *fakeEngine) Stats() StatsBundle {
+	b := StatsBundle{}
+	b.Storage.Entries = 7
+	b.Storage.UsageBytes = 4096
+	b.Storage.ClaimsGranted = 11
+	b.Matcher.Probes = 23
+	b.Matcher.Matches = 5
+	b.Matcher.NegativeHits = 3
+	b.BatchCache.Hits = 13
+	b.BatchCache.Misses = 2
+	b.Delta.Refreshes = 4
+	b.Delta.ColdBytesAvoided = 8192
+	b.Latency.Query.Count = 9
+	b.Latency.Query.P95Ms = 42
+	b.Latency.Probe.Count = 23
+	b.Latency.ClaimWait.Count = 1
+	b.Latency.Refresh.Count = 4
+	return b
+}
 func (e *fakeEngine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"sync"
+
+	"repro"
+)
+
+// SlowQuery is one slow-query record: the GET /debug/slow body's
+// element, carrying the finished query's identity, wall time and span
+// trace (when tracing was on).
+type SlowQuery struct {
+	ID     string                 `json:"id"`
+	Tenant string                 `json:"tenant"`
+	Tag    string                 `json:"tag,omitempty"`
+	State  string                 `json:"state"`
+	WallMs float64                `json:"wallMs"`
+	Trace  *restore.TraceSnapshot `json:"trace,omitempty"`
+}
+
+// slowRing keeps the newest size slow queries; older ones fall off so
+// a long-lived server holds a bounded number of retained traces.
+type slowRing struct {
+	mu   sync.Mutex
+	size int
+	buf  []SlowQuery
+	next int  // write cursor
+	full bool // buf has wrapped at least once
+}
+
+func newSlowRing(size int) *slowRing {
+	if size <= 0 {
+		size = 64
+	}
+	return &slowRing{size: size}
+}
+
+func (r *slowRing) add(q SlowQuery) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < r.size {
+		r.buf = append(r.buf, q)
+		r.next = len(r.buf) % r.size
+		r.full = len(r.buf) == r.size && r.next == 0
+		return
+	}
+	r.buf[r.next] = q
+	r.next = (r.next + 1) % r.size
+	r.full = true
+}
+
+// snapshot copies the records newest-first.
+func (r *slowRing) snapshot() []SlowQuery {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SlowQuery, 0, len(r.buf))
+	// Walk backwards from the most recent write.
+	for i := 0; i < len(r.buf); i++ {
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}

@@ -25,6 +25,10 @@ type StatsBundle struct {
 	// Delta snapshots incremental maintenance: stored entries
 	// delta-refreshed after input appends instead of recomputed cold.
 	Delta restore.DeltaStats `json:"delta"`
+	// Latency carries the wall-latency histograms (submit→done, probe,
+	// claim-wait, refresh) with interpolated p50/p95/p99 and cumulative
+	// buckets; always present so scrapers can rely on the shape.
+	Latency restore.LatencySnapshot `json:"latency"`
 	// Service carries the serving front-end's per-tenant counters; nil
 	// when the bundle was taken from a System with no server in front
 	// (restore-cli).
@@ -41,6 +45,7 @@ func SystemStats(sys *restore.System) StatsBundle {
 		Leases:     st.Leases,
 		BatchCache: sys.BatchCacheStats(),
 		Delta:      sys.DeltaStats(),
+		Latency:    sys.LatencyStats(),
 	}
 }
 

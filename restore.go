@@ -167,6 +167,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -179,6 +180,7 @@ import (
 	"repro/internal/logical"
 	"repro/internal/mapreduce"
 	"repro/internal/mrcompile"
+	"repro/internal/obs"
 	"repro/internal/physical"
 	"repro/internal/piglatin"
 	"repro/internal/tuple"
@@ -244,7 +246,20 @@ type (
 	// delta-refreshed after input appends, appended bytes read, and
 	// cold recompute bytes avoided.
 	DeltaStats = core.DeltaStats
+	// TraceSnapshot is one query's recorded span tree (see Query.Trace
+	// and internal/obs for the span taxonomy).
+	TraceSnapshot = obs.TraceJSON
+	// TraceSpan is one span of a TraceSnapshot.
+	TraceSpan = obs.SpanJSON
+	// LatencySnapshot carries the system's wall-latency histograms
+	// (submit→done, probe, claim-wait, refresh) with interpolated
+	// p50/p95/p99 and cumulative buckets.
+	LatencySnapshot = obs.LatencySnapshot
 )
+
+// ExplainTrace renders a query's trace snapshot as the human-readable
+// reuse-provenance report (restore-cli -explain).
+func ExplainTrace(w io.Writer, t *TraceSnapshot) { obs.Explain(w, t) }
 
 // The claim fallback modes.
 const (
@@ -667,6 +682,16 @@ func (s *System) DeltaStats() DeltaStats {
 	return s.driver.DeltaStats()
 }
 
+// LatencyStats snapshots the system's wall-latency histograms:
+// submit→done per completed query, matcher probes, claim waits, and
+// delta refreshes, each with interpolated p50/p95/p99 and cumulative
+// buckets. Histograms record for every query, traced or not.
+func (s *System) LatencyStats() LatencySnapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.driver.Metrics.Snapshot()
+}
+
 // FS exposes the distributed file system.
 func (s *System) FS() dfs.Backend { return s.fs }
 
@@ -988,6 +1013,7 @@ type Query struct {
 
 	done   chan struct{}
 	cancel context.CancelFunc
+	trace  *obs.Trace
 
 	mu       sync.Mutex
 	jobs     map[string]JobState
@@ -1004,6 +1030,13 @@ func (q *Query) Tag() string { return q.tag }
 
 // Tenant returns the WithTenant identity, if any.
 func (q *Query) Tenant() string { return q.tenant }
+
+// Trace snapshots the query's span trace: submit → compile → per-job
+// probe (with candidate-level reuse provenance) → claim → refresh →
+// execution → commit. It may be called while the query is still
+// running (open spans are closed at the snapshot instant) and returns
+// nil when tracing was disabled (Options.DisableTrace).
+func (q *Query) Trace() *TraceSnapshot { return q.trace.Snapshot() }
 
 // Cancel aborts the query as if its submission context had been
 // cancelled: unstarted jobs stay pending, running jobs release their
@@ -1080,19 +1113,30 @@ func (s *System) Submit(ctx context.Context, script string, opts ...ExecOption) 
 		return nil, ErrClosed
 	}
 	qid := fmt.Sprintf("%sq%d", s.qidPrefix, s.nquery.Add(1))
-	wf, err := s.compile(script, s.tempPrefix(qid))
-	if err != nil {
-		return nil, err
-	}
 
 	// Per-execution snapshot: the System's defaults as of now, then the
-	// submission's own options. Reconfiguration after this point never
-	// affects this query.
+	// submission's own options. Resolved before compilation so the
+	// trace — which wants a compile span — knows whether this query is
+	// traced. Reconfiguration after this point never affects this
+	// query.
 	s.mu.RLock()
 	ec := execConfig{opts: s.driver.Opts, workers: s.driver.Workers}
 	s.mu.RUnlock()
 	for _, o := range opts {
 		o(&ec)
+	}
+
+	var tr *obs.Trace
+	rootSpan := obs.NoSpan
+	if !ec.opts.DisableTrace {
+		tr = obs.NewTrace(qid, ec.opts.TraceTasks)
+		rootSpan = tr.Start(obs.NoSpan, obs.KindSubmit, qid)
+	}
+	compileSpan := tr.Start(rootSpan, obs.KindCompile, "")
+	wf, err := s.compile(script, s.tempPrefix(qid))
+	tr.End(compileSpan)
+	if err != nil {
+		return nil, err
 	}
 
 	// The execution runs under a cancellable child of the caller's
@@ -1105,6 +1149,7 @@ func (s *System) Submit(ctx context.Context, script string, opts ...ExecOption) 
 		sys:      s,
 		done:     make(chan struct{}),
 		cancel:   cancel,
+		trace:    tr,
 		jobs:     make(map[string]JobState, len(wf.Jobs)),
 		progress: make(map[string]JobProgress, len(wf.Jobs)),
 	}
@@ -1115,6 +1160,7 @@ func (s *System) Submit(ctx context.Context, script string, opts ...ExecOption) 
 	cfg := core.ExecConfig{
 		Opts:    ec.opts,
 		Workers: ec.workers,
+		Trace:   tr,
 		OnJobState: func(jobID string, state JobState) {
 			q.mu.Lock()
 			q.jobs[jobID] = state
@@ -1153,6 +1199,10 @@ func (s *System) Submit(ctx context.Context, script string, opts ...ExecOption) 
 		delete(s.queries, qid)
 		s.qmu.Unlock()
 		cancel() // release the context's resources
+		if err != nil {
+			tr.Note(rootSpan, "failed: "+err.Error())
+		}
+		tr.End(rootSpan)
 		q.mu.Lock()
 		if err != nil {
 			q.err = err
